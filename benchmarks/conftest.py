@@ -1,0 +1,154 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+training budgets and Monte-Carlo sample counts are controlled by the
+``REPRO_SCALE`` environment variable:
+
+* ``REPRO_SCALE=quick`` (default) -- minutes-scale run that preserves the
+  qualitative shape of every comparison;
+* ``REPRO_SCALE=paper`` -- paper-scale budgets (500 evaluation samples,
+  full training epochs); expect a multi-hour run on a laptop CPU.
+
+Expensive artefacts (trained pipelines, switching baselines) are built once
+per session and shared across benchmark files.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import (  # noqa: E402
+    CocktailConfig,
+    CocktailPipeline,
+    DistillationConfig,
+    MixingConfig,
+    make_default_experts,
+    make_system,
+)
+from repro.baselines import SwitchingTrainer  # noqa: E402
+from repro.utils.seeding import set_global_seed  # noqa: E402
+
+
+@dataclass
+class BenchmarkScale:
+    """All budget knobs in one place."""
+
+    name: str
+    mixing_epochs: int
+    mixing_steps: int
+    distill_epochs: int
+    distill_dataset: int
+    eval_samples: int
+    perturbed_samples: int
+    switching_epochs: int
+    invariant_grid: int
+    max_partitions: int
+
+    @classmethod
+    def from_env(cls) -> "BenchmarkScale":
+        scale = os.environ.get("REPRO_SCALE", "quick").lower()
+        if scale == "paper":
+            return cls(
+                name="paper",
+                mixing_epochs=30,
+                mixing_steps=2048,
+                distill_epochs=200,
+                distill_dataset=4000,
+                eval_samples=500,
+                perturbed_samples=500,
+                switching_epochs=30,
+                invariant_grid=24,
+                max_partitions=8192,
+            )
+        # Note: the mixing budget is deliberately small.  The warm-started
+        # policy already behaves like a sensible fixed-weight ensemble, and a
+        # handful of PPO epochs refines it without wandering; on the unstable
+        # cartpole, much longer quick-mode training with a noisy value
+        # function can drift away from the warm start before converging back
+        # (use REPRO_SCALE=paper for full-length training).
+        return cls(
+            name="quick",
+            mixing_epochs=6,
+            mixing_steps=768,
+            distill_epochs=150,
+            distill_dataset=3000,
+            eval_samples=200,
+            perturbed_samples=100,
+            switching_epochs=6,
+            invariant_grid=20,
+            max_partitions=4096,
+        )
+
+
+SYSTEMS = ["vanderpol", "3d", "cartpole"]
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchmarkScale:
+    return BenchmarkScale.from_env()
+
+
+def _cocktail_config(scale: BenchmarkScale, system_name: str, seed: int = 0) -> CocktailConfig:
+    trajectory_fraction = 0.7 if system_name == "cartpole" else 0.6
+    return CocktailConfig(
+        mixing=MixingConfig(epochs=scale.mixing_epochs, steps_per_epoch=scale.mixing_steps, seed=seed),
+        distillation=DistillationConfig(
+            epochs=scale.distill_epochs,
+            dataset_size=scale.distill_dataset,
+            hidden_sizes=(32, 32),
+            l2_weight=5e-3,
+            adversarial_probability=0.5,
+            trajectory_fraction=trajectory_fraction,
+            seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline_results(scale):
+    """Trained Cocktail artefacts for every test system (built once)."""
+
+    results = {}
+    for name in SYSTEMS:
+        set_global_seed(0)
+        system = make_system(name)
+        experts = make_default_experts(system)
+        pipeline = CocktailPipeline(system, experts, _cocktail_config(scale, name))
+        results[name] = {
+            "system": system,
+            "experts": experts,
+            "result": pipeline.run(include_direct_baseline=True),
+        }
+    return results
+
+
+@pytest.fixture(scope="session")
+def switching_baselines(scale, pipeline_results):
+    """The A_S baseline of [4], trained per system with the same reward."""
+
+    baselines = {}
+    for name, bundle in pipeline_results.items():
+        trainer = SwitchingTrainer(
+            bundle["system"],
+            bundle["experts"],
+            config=MixingConfig(epochs=scale.switching_epochs, steps_per_epoch=scale.mixing_steps, seed=0),
+            rng=0,
+        )
+        baselines[name] = trainer.train()
+    return baselines
+
+
+def run_once(benchmark, function):
+    """Run an expensive benchmark body exactly once under pytest-benchmark."""
+
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

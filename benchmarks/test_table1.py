@@ -1,0 +1,66 @@
+"""Table I: Sr / e / L for every controller on the three test systems.
+
+Paper reference values (DAC 2021, Table I) -- the shape to check, not the
+absolute numbers: the Cocktail controllers (A_W, kappa*) match or beat the
+best single expert and the switching baseline A_S on the safe control rate,
+kappa* has the lowest energy among the Cocktail variants, and the robust
+student's Lipschitz constant is below the direct distillation's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SYSTEMS, run_once
+from repro.metrics import evaluate_controllers
+from repro.metrics.evaluation import metrics_to_table
+
+PAPER_REFERENCE = {
+    "vanderpol": {"kappa1": 85.0, "kappa2": 79.4, "AS": 88.4, "AW": 98.0, "kappaD": 98.4, "kappa_star": 98.8},
+    "3d": {"kappa1": 91.0, "kappa2": 88.6, "AS": 96.8, "AW": 98.2, "kappaD": 97.6, "kappa_star": 99.0},
+    "cartpole": {"kappa1": 81.6, "kappa2": 84.0, "AS": 90.4, "AW": 99.0, "kappaD": 99.0, "kappa_star": 98.6},
+}
+
+
+@pytest.mark.parametrize("system_name", SYSTEMS)
+def test_table1(benchmark, system_name, scale, pipeline_results, switching_baselines):
+    bundle = pipeline_results[system_name]
+    system = bundle["system"]
+    controllers = dict(bundle["result"].controllers())
+    # Insert A_S between the single experts and the Cocktail variants, as in the paper.
+    ordered = {
+        "kappa1": controllers["kappa1"],
+        "kappa2": controllers["kappa2"],
+        "AS": switching_baselines[system_name],
+        "AW": controllers["AW"],
+        "kappaD": controllers["kappaD"],
+        "kappa_star": controllers["kappa_star"],
+    }
+
+    def evaluate():
+        return evaluate_controllers(system, ordered, samples=scale.eval_samples, seed=0)
+
+    metrics = run_once(benchmark, evaluate)
+
+    table = metrics_to_table(f"Table I ({system_name}, {scale.name} scale)", metrics)
+    print()
+    print(table)
+    print("paper Sr reference (%):", PAPER_REFERENCE[system_name])
+
+    # Shape checks (soft versions of the paper's qualitative claims).
+    best_expert = max(metrics["kappa1"].clean.safe_rate, metrics["kappa2"].clean.safe_rate)
+    assert metrics["kappa_star"].clean.safe_rate >= best_expert - 0.1
+    assert metrics["AW"].clean.safe_rate >= best_expert - 0.1
+    # Energy: the paper's direct claim is that kappa* consumes no more energy
+    # than the mixed design A_W and the direct distillation kappa_D (its safe
+    # set differs from the experts', so expert energies are not comparable
+    # one-to-one).  Allow Monte-Carlo tolerance; the cartpole gets a wider
+    # margin because, as the paper itself notes for Fig. 2, the open-loop
+    # unstable cartpole shows the least pronounced kappa*/kappa_D difference
+    # and quick-scale students balance the pole with more chatter.
+    energy_margin = 2.0 if system_name == "cartpole" else 1.15
+    assert metrics["kappa_star"].clean.mean_energy <= metrics["kappaD"].clean.mean_energy * energy_margin
+    assert metrics["kappa_star"].clean.mean_energy <= metrics["AW"].clean.mean_energy * (energy_margin + 0.1)
+    # Lipschitz ordering: robust distillation at most as large as direct distillation.
+    assert metrics["kappa_star"].lipschitz is not None and metrics["kappaD"].lipschitz is not None
+    assert metrics["kappa_star"].lipschitz <= metrics["kappaD"].lipschitz * 1.1

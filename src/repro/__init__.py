@@ -1,0 +1,72 @@
+"""Reproduction of "Cocktail: Learn a Better Neural Network Controller from
+Multiple Experts via Adaptive Mixing and Robust Distillation" (DAC 2021).
+
+The public API mirrors the paper's workflow::
+
+    from repro import (
+        make_system, make_default_experts, CocktailConfig, CocktailPipeline,
+        evaluate_controllers,
+    )
+
+    system = make_system("vanderpol")
+    experts = make_default_experts(system)
+    result = CocktailPipeline(system, experts, CocktailConfig.fast()).run()
+    metrics = evaluate_controllers(system, result.controllers(), samples=100)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the mapping
+between the paper's tables/figures and the benchmark harnesses.
+"""
+
+from repro.core import (
+    CocktailConfig,
+    CocktailPipeline,
+    CocktailResult,
+    DirectDistiller,
+    DistillationConfig,
+    MixedController,
+    MixingConfig,
+    MixingTrainer,
+    RobustDistiller,
+)
+from repro.experts import Controller, make_default_experts
+from repro.metrics import evaluate_controller, evaluate_controllers
+from repro.systems import (
+    Box,
+    CartPole,
+    ControlSystem,
+    ThreeDimensionalSystem,
+    VanDerPolOscillator,
+    make_system,
+)
+from repro.utils import set_global_seed
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # systems
+    "Box",
+    "ControlSystem",
+    "VanDerPolOscillator",
+    "ThreeDimensionalSystem",
+    "CartPole",
+    "make_system",
+    # experts
+    "Controller",
+    "make_default_experts",
+    # core framework
+    "CocktailConfig",
+    "MixingConfig",
+    "DistillationConfig",
+    "CocktailPipeline",
+    "CocktailResult",
+    "MixingTrainer",
+    "MixedController",
+    "RobustDistiller",
+    "DirectDistiller",
+    # evaluation
+    "evaluate_controller",
+    "evaluate_controllers",
+    # utilities
+    "set_global_seed",
+]

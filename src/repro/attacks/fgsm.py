@@ -1,0 +1,135 @@
+"""Fast Gradient Sign Method attacks on the controller input.
+
+Two uses, matching Algorithm 1 and Section IV:
+
+* during robust distillation, FGSM generates the adversarial training state
+  ``s + Delta * sign(grad_s l(kappa*(s; q), u))`` (that code path lives in
+  :mod:`repro.core.distillation` because it needs the training graph);
+* during evaluation, FGSM perturbs the measured state so as to maximally
+  change the controller's output, which is the "optimized adversarial
+  attack" of Table II.  :class:`FGSMAttack` implements the evaluation-time
+  attacker as a perturbation callable for :func:`repro.systems.rollout`.
+
+For neural controllers the input gradient comes from the autodiff engine;
+for arbitrary (black-box) controllers a finite-difference fallback estimates
+the same sign vector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.experts.base import Controller, NeuralController
+from repro.utils.seeding import get_rng
+
+ControllerLike = Union[Controller, Callable[[np.ndarray], np.ndarray]]
+
+
+def _control_change_gradient(controller: ControllerLike, state: np.ndarray, epsilon: float = 1e-4) -> np.ndarray:
+    """Gradient of ``0.5 * ||kappa(s') - kappa(s)||^2`` w.r.t. ``s'`` at ``s' = s``.
+
+    At the unperturbed point this gradient is ``J(s)^T (kappa(s) - kappa(s)) = 0``,
+    so instead we use the gradient of the output norm direction: the attack
+    wants the perturbation that changes the control the most, which for a
+    locally-linear controller is the top right-singular direction of the
+    Jacobian.  We approximate it cheaply with the gradient of
+    ``c^T kappa(s)`` where ``c`` is the sign of the nominal control (pushing
+    the control away from its current value).
+    """
+
+    nominal = np.atleast_1d(np.asarray(controller(state), dtype=np.float64))
+    direction = np.sign(nominal)
+    direction[direction == 0.0] = 1.0
+
+    if isinstance(controller, NeuralController):
+        tensor_state = Tensor(np.atleast_2d(state), requires_grad=True)
+        output = controller.network(tensor_state)
+        if controller._scale is not None:
+            output = output * Tensor(controller._scale) + Tensor(controller._offset)
+        objective = (output * Tensor(direction)).sum()
+        objective.backward()
+        return tensor_state.grad[0]
+
+    gradient = np.zeros_like(state, dtype=np.float64)
+    for index in range(state.size):
+        plus = state.copy()
+        minus = state.copy()
+        plus[index] += epsilon
+        minus[index] -= epsilon
+        value_plus = float(direction @ np.atleast_1d(controller(plus)))
+        value_minus = float(direction @ np.atleast_1d(controller(minus)))
+        gradient[index] = (value_plus - value_minus) / (2.0 * epsilon)
+    return gradient
+
+
+def fgsm_perturbation(
+    controller: ControllerLike,
+    state: np.ndarray,
+    bound: Union[float, Sequence[float]],
+    maximize_control: bool = True,
+) -> np.ndarray:
+    """One FGSM step: ``s + bound * sign(grad)`` against the controller.
+
+    ``maximize_control=True`` pushes the control further in its current
+    direction (wasting energy and overshooting); ``False`` pushes against it
+    (making the controller under-react near the safety boundary).
+    """
+
+    state = np.asarray(state, dtype=np.float64)
+    bound = np.atleast_1d(np.asarray(bound, dtype=np.float64))
+    gradient = _control_change_gradient(controller, state)
+    sign = np.sign(gradient)
+    sign[sign == 0.0] = 1.0
+    if not maximize_control:
+        sign = -sign
+    return state + bound * sign
+
+
+class FGSMAttack:
+    """Evaluation-time FGSM attacker usable as a rollout perturbation.
+
+    Parameters
+    ----------
+    controller:
+        The controller under attack (white box, as in the paper).
+    bound:
+        Per-dimension perturbation bound ``Delta`` (typically 10-15 % of the
+        state bound; see :func:`repro.attacks.perturbation_budget`).
+    probability:
+        Probability of attacking at each step (1.0 = attack every step).
+    alternate:
+        When ``True`` the attack direction alternates between amplifying and
+        opposing the control, which destabilises controllers with large
+        Lipschitz constants more effectively.
+    """
+
+    def __init__(
+        self,
+        controller: ControllerLike,
+        bound: Union[float, Sequence[float]],
+        probability: float = 1.0,
+        alternate: bool = True,
+    ):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.controller = controller
+        self.bound = np.atleast_1d(np.asarray(bound, dtype=np.float64))
+        self.probability = float(probability)
+        self.alternate = alternate
+        self._step = 0
+
+    def __call__(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        rng = get_rng(rng)
+        self._step += 1
+        if self.probability < 1.0 and rng.uniform() > self.probability:
+            return state
+        maximize = True
+        if self.alternate:
+            maximize = (self._step % 2) == 0
+        return fgsm_perturbation(self.controller, state, self.bound, maximize_control=maximize)
+
+    def reset(self) -> None:
+        self._step = 0

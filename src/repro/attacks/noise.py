@@ -1,0 +1,53 @@
+"""Random measurement-noise models.
+
+The paper's measurement noise is "a random variable sampled from a uniform
+distribution and added to the system state s(t) at every step", with a
+magnitude of 10-15 % of the system state value bound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.utils.seeding import get_rng
+
+
+class UniformMeasurementNoise:
+    """Additive uniform noise ``delta ~ U[-bound, bound]`` per component."""
+
+    def __init__(self, bound: Union[float, Sequence[float]]):
+        self.bound = np.atleast_1d(np.asarray(bound, dtype=np.float64))
+        if np.any(self.bound < 0):
+            raise ValueError("noise bound must be non-negative")
+
+    def __call__(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        rng = get_rng(rng)
+        return state + rng.uniform(-self.bound, self.bound, size=state.shape)
+
+    def magnitude(self) -> np.ndarray:
+        return self.bound.copy()
+
+
+class GaussianMeasurementNoise:
+    """Additive Gaussian noise truncated to the perturbation bound.
+
+    Not used in the paper's tables but provided for the robustness ablation:
+    Gaussian sensors are the more common model in practice.
+    """
+
+    def __init__(self, std: Union[float, Sequence[float]], bound_multiplier: float = 3.0):
+        self.std = np.atleast_1d(np.asarray(std, dtype=np.float64))
+        if np.any(self.std < 0):
+            raise ValueError("noise std must be non-negative")
+        self.bound_multiplier = float(bound_multiplier)
+
+    def __call__(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        rng = get_rng(rng)
+        noise = rng.normal(0.0, self.std, size=state.shape)
+        limit = self.bound_multiplier * self.std
+        return state + np.clip(noise, -limit, limit)
+
+    def magnitude(self) -> np.ndarray:
+        return self.bound_multiplier * self.std

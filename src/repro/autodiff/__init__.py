@@ -1,0 +1,22 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This package is the lowest-level substrate of the reproduction: a small,
+self-contained autodiff engine that replaces PyTorch for every gradient
+computation in the repository -- policy gradients for PPO and DDPG, the
+regression losses of the distillation step, and the input gradients used by
+the FGSM adversarial attacks.
+
+The public surface mirrors a tiny subset of the PyTorch tensor API:
+
+>>> from repro.autodiff import Tensor
+>>> x = Tensor([[1.0, 2.0]], requires_grad=True)
+>>> y = (x * x).sum()
+>>> y.backward()
+>>> x.grad
+array([[2., 4.]])
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autodiff import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

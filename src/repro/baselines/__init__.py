@@ -1,0 +1,21 @@
+"""Baseline adaptation methods the paper compares against.
+
+* single experts κ1, κ2 -- evaluated directly by the metrics harness;
+* :mod:`repro.baselines.switching` -- the switching adaptation method ``A_S``
+  of Wang et al. (ICCAD 2020, reference [4]): an RL policy that picks *one*
+  expert per step (a strict sub-space of Cocktail's mixing action space);
+* :mod:`repro.baselines.fixed_ensemble` -- distillation from a
+  fixed-pre-determined-weight ensemble of the experts (the knowledge
+  distillation literature's setting, references [13], [14]).
+"""
+
+from repro.baselines.switching import SwitchingController, SwitchingEnv, SwitchingTrainer
+from repro.baselines.fixed_ensemble import FixedWeightEnsemble, distill_fixed_ensemble
+
+__all__ = [
+    "SwitchingEnv",
+    "SwitchingController",
+    "SwitchingTrainer",
+    "FixedWeightEnsemble",
+    "distill_fixed_ensemble",
+]

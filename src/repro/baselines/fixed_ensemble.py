@@ -1,0 +1,69 @@
+"""Fixed-weight ensemble baseline.
+
+The knowledge-distillation literature the paper cites ([13], [14]) distils
+from an ensemble of teachers whose weights are *pre-determined* and sum to
+one.  This module provides that setting so the ablation benchmark can show
+what dynamically-learned weights buy over a static convex combination.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DistillationConfig
+from repro.core.distillation import DirectDistiller, collect_distillation_dataset
+from repro.experts.base import Controller, NeuralController
+from repro.systems.base import ControlSystem
+from repro.utils.seeding import RngLike
+
+
+class FixedWeightEnsemble(Controller):
+    """Static convex combination of experts: ``u = clip(sum w_i kappa_i(s))``."""
+
+    name = "fixed-ensemble"
+
+    def __init__(self, system: ControlSystem, experts: Sequence[Controller], weights: Optional[Sequence[float]] = None):
+        if len(experts) < 2:
+            raise ValueError("an ensemble requires at least two experts")
+        self.system = system
+        self.experts = list(experts)
+        if weights is None:
+            weights = np.full(len(self.experts), 1.0 / len(self.experts))
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.size != len(self.experts):
+            raise ValueError("one weight per expert is required")
+        if np.any(weights < 0) or not np.isclose(weights.sum(), 1.0):
+            raise ValueError("fixed ensemble weights must be a convex combination (>= 0, sum to 1)")
+        self.weights = weights
+
+    def control(self, state: np.ndarray) -> np.ndarray:
+        control = np.zeros(self.system.control_dim)
+        for weight, expert in zip(self.weights, self.experts):
+            control = control + weight * np.atleast_1d(expert(state))
+        return self.system.clip_control(control)
+
+
+def distill_fixed_ensemble(
+    system: ControlSystem,
+    experts: Sequence[Controller],
+    weights: Optional[Sequence[float]] = None,
+    config: Optional[DistillationConfig] = None,
+    rng: RngLike = None,
+) -> NeuralController:
+    """Distil a static ensemble into a student network (the literature baseline)."""
+
+    config = config if config is not None else DistillationConfig()
+    teacher = FixedWeightEnsemble(system, experts, weights)
+    dataset = collect_distillation_dataset(
+        system,
+        teacher,
+        size=config.dataset_size,
+        trajectory_fraction=config.trajectory_fraction,
+        rng=rng,
+    )
+    distiller = DirectDistiller(system, config=config, rng=rng)
+    student = distiller.distill(dataset)
+    student.name = "fixed-ensemble-student"
+    return student

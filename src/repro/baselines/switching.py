@@ -1,0 +1,118 @@
+"""The switching adaptation baseline ``A_S`` (reference [4] of the paper).
+
+At every step an RL policy selects exactly one expert and applies its control
+unchanged.  The action space is therefore the finite set
+``{1, ..., n}`` -- a strict sub-space of Cocktail's continuous weight box,
+which is the formal reason (Proposition 1) the adaptive mixing strategy can
+only do better.  The policy is trained with PPO over a categorical
+distribution, using the same punishment/energy reward as the mixing step so
+the comparison is apples to apples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import MixingConfig
+from repro.experts.base import Controller
+from repro.rl.env import ControlEnv, RewardFunction
+from repro.rl.policies import CategoricalMLPPolicy
+from repro.rl.ppo import PPOTrainer
+from repro.rl.spaces import DiscreteSpace
+from repro.systems.base import ControlSystem
+from repro.utils.logging import TrainingLogger
+from repro.utils.seeding import RngLike, get_rng
+
+
+class SwitchingEnv(ControlEnv):
+    """Control environment whose action is the index of the expert to apply."""
+
+    def __init__(
+        self,
+        system: ControlSystem,
+        experts: Sequence[Controller],
+        reward: Optional[RewardFunction] = None,
+        horizon: Optional[int] = None,
+        rng: RngLike = None,
+    ):
+        if len(experts) < 2:
+            raise ValueError("switching requires at least two experts")
+        self.experts = list(experts)
+        super().__init__(system, reward=reward, horizon=horizon, rng=rng)
+
+    def build_action_space(self) -> DiscreteSpace:
+        return DiscreteSpace(len(self.experts))
+
+    def action_to_control(self, action, state: np.ndarray) -> np.ndarray:
+        index = int(np.clip(int(np.atleast_1d(action)[0]), 0, len(self.experts) - 1))
+        return np.atleast_1d(self.experts[index](state))
+
+    @property
+    def action_dim(self) -> int:
+        return 1
+
+
+class SwitchingController(Controller):
+    """The trained switching policy exposed as a controller (``A_S``)."""
+
+    name = "AS"
+
+    def __init__(self, system: ControlSystem, experts: Sequence[Controller], policy: CategoricalMLPPolicy):
+        self.system = system
+        self.experts = list(experts)
+        self.policy = policy
+
+    def selected_expert(self, state: np.ndarray) -> int:
+        action, _ = self.policy.act(state, deterministic=True)
+        return int(action)
+
+    def control(self, state: np.ndarray) -> np.ndarray:
+        index = self.selected_expert(state)
+        return self.system.clip_control(np.atleast_1d(self.experts[index](state)))
+
+    def switching_profile(self, states: np.ndarray) -> np.ndarray:
+        """Expert index chosen for each row of ``states`` (for diagnostics)."""
+
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        return np.array([self.selected_expert(state) for state in states], dtype=int)
+
+
+class SwitchingTrainer:
+    """Trains the switching policy with PPO over a categorical action space."""
+
+    def __init__(
+        self,
+        system: ControlSystem,
+        experts: Sequence[Controller],
+        config: Optional[MixingConfig] = None,
+        rng: RngLike = None,
+    ):
+        self.system = system
+        self.experts = list(experts)
+        self.config = config if config is not None else MixingConfig()
+        self._rng = get_rng(rng if rng is not None else self.config.seed)
+        reward = RewardFunction(
+            punishment=self.config.punishment,
+            energy_weight=self.config.energy_weight,
+            survival_bonus=self.config.survival_bonus,
+        )
+        self.env = SwitchingEnv(system, self.experts, reward=reward, rng=self._rng)
+        self._trainer: Optional[PPOTrainer] = None
+
+    def train(self, epochs: Optional[int] = None) -> SwitchingController:
+        policy = CategoricalMLPPolicy(
+            self.system.state_dim,
+            len(self.experts),
+            hidden_sizes=self.config.hidden_sizes,
+            seed=self.config.seed,
+        )
+        trainer = PPOTrainer(self.env, policy=policy, config=self.config.ppo_config(), rng=self._rng)
+        trainer.train(epochs=epochs)
+        self._trainer = trainer
+        return SwitchingController(self.system, self.experts, policy)
+
+    @property
+    def logger(self) -> Optional[TrainingLogger]:
+        return getattr(self._trainer, "logger", None)

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three sub-commands cover the daily workflow of the reproduction:
+
+``train``
+    Run the full Cocktail pipeline (Algorithm 1) on one of the three test
+    systems and save the distilled controllers plus an experiment record.
+
+``evaluate``
+    Evaluate a saved student controller (or the analytic experts) on the
+    paper's metrics, optionally under attack or measurement noise.
+
+``verify``
+    Run the Bernstein/interval verification analyses (reachability and/or
+    invariant set) on a saved student controller and report the timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro import (
+    CocktailConfig,
+    CocktailPipeline,
+    DistillationConfig,
+    MixingConfig,
+    make_default_experts,
+    make_system,
+    set_global_seed,
+)
+from repro.metrics import evaluate_controllers, evaluate_robustness
+from repro.metrics.evaluation import metrics_to_table
+from repro.systems.sets import Box
+from repro.utils.persistence import load_student_controller, save_cocktail_result
+from repro.verification import verify_controller
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="run the Cocktail pipeline and save the students")
+    train.add_argument("--system", default="vanderpol", choices=["vanderpol", "3d", "cartpole"])
+    train.add_argument("--output", type=Path, required=True, help="directory for the saved controllers")
+    train.add_argument("--mixing-epochs", type=int, default=10)
+    train.add_argument("--mixing-steps", type=int, default=1024)
+    train.add_argument("--distill-epochs", type=int, default=100)
+    train.add_argument("--dataset-size", type=int, default=2500)
+    train.add_argument("--eval-samples", type=int, default=150)
+    train.add_argument("--seed", type=int, default=0)
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a saved student controller")
+    evaluate.add_argument("--system", default="vanderpol", choices=["vanderpol", "3d", "cartpole"])
+    evaluate.add_argument("--controller-dir", type=Path, required=True)
+    evaluate.add_argument("--controller", default="kappa_star", choices=["kappa_star", "kappaD"])
+    evaluate.add_argument("--perturbation", default="none", choices=["none", "attack", "noise"])
+    evaluate.add_argument("--fraction", type=float, default=0.1)
+    evaluate.add_argument("--samples", type=int, default=200)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    verify = subparsers.add_parser("verify", help="verify a saved student controller")
+    verify.add_argument("--system", default="vanderpol", choices=["vanderpol", "3d", "cartpole"])
+    verify.add_argument("--controller-dir", type=Path, required=True)
+    verify.add_argument("--controller", default="kappa_star", choices=["kappa_star", "kappaD"])
+    verify.add_argument("--target-error", type=float, default=0.5)
+    verify.add_argument("--degree", type=int, default=3)
+    verify.add_argument("--max-partitions", type=int, default=4096)
+    verify.add_argument("--reach-steps", type=int, default=15)
+    verify.add_argument("--reach-box-scale", type=float, default=0.1, help="initial reach box as a fraction of X0")
+    verify.add_argument("--invariant-grid", type=int, default=0, help="0 disables the invariant-set analysis")
+
+    return parser
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    set_global_seed(args.seed)
+    system = make_system(args.system)
+    experts = make_default_experts(system)
+    config = CocktailConfig(
+        mixing=MixingConfig(epochs=args.mixing_epochs, steps_per_epoch=args.mixing_steps, seed=args.seed),
+        distillation=DistillationConfig(
+            epochs=args.distill_epochs,
+            dataset_size=args.dataset_size,
+            hidden_sizes=(32, 32),
+            l2_weight=5e-3,
+            trajectory_fraction=0.7 if args.system == "cartpole" else 0.6,
+            seed=args.seed,
+        ),
+        seed=args.seed,
+    )
+    result = CocktailPipeline(system, experts, config).run()
+    metrics = evaluate_controllers(system, result.controllers(), samples=args.eval_samples, seed=args.seed)
+    print(metrics_to_table(f"Cocktail on {args.system}", metrics))
+    record = {name: metric.as_dict() for name, metric in metrics.items()}
+    save_cocktail_result(result, args.output, record={"system": args.system, "metrics": record, "seed": args.seed})
+    print(f"saved controllers and record to {args.output}")
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    set_global_seed(args.seed)
+    system = make_system(args.system)
+    controller = load_student_controller(args.controller_dir, name=args.controller)
+    outcome = evaluate_robustness(
+        system,
+        controller,
+        perturbation=args.perturbation,
+        fraction=args.fraction,
+        samples=args.samples,
+        rng=args.seed,
+    )
+    print(
+        f"{args.controller} on {args.system} ({args.perturbation}, {args.samples} samples): "
+        f"Sr = {100 * outcome.safe_rate:.1f}%, e = {outcome.mean_energy:.2f}"
+    )
+    return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    system = make_system(args.system)
+    controller = load_student_controller(args.controller_dir, name=args.controller)
+    reach_box = Box(
+        system.initial_set.center - args.reach_box_scale * system.initial_set.widths / 2.0,
+        system.initial_set.center + args.reach_box_scale * system.initial_set.widths / 2.0,
+    )
+    report = verify_controller(
+        system,
+        controller.network,
+        name=args.controller,
+        target_error=args.target_error,
+        degree=args.degree,
+        max_partitions=args.max_partitions,
+        reach_initial_box=reach_box,
+        reach_steps=args.reach_steps,
+        invariant_grid=args.invariant_grid or None,
+    )
+    for key, value in report.summary().items():
+        print(f"{key:20s}: {value}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+
+    args = build_parser().parse_args(argv)
+    if args.command == "train":
+        return _command_train(args)
+    if args.command == "evaluate":
+        return _command_evaluate(args)
+    if args.command == "verify":
+        return _command_verify(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

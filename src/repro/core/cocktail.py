@@ -1,0 +1,132 @@
+"""End-to-end Cocktail pipeline (Algorithm 1).
+
+``CocktailPipeline.run`` executes the whole framework:
+
+1. learn the adaptive mixing policy over the given experts with RL,
+   obtaining the mixed controller design ``A_W``;
+2. collect a teacher dataset from ``A_W``;
+3. distil it into a single student network, robustly (``kappa*``) and --
+   optionally, for the baseline comparison -- directly (``kappa_D``).
+
+The returned :class:`CocktailResult` bundles every controller the paper's
+tables compare, plus the training loggers, so the benchmark harnesses only
+have to evaluate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import CocktailConfig
+from repro.core.distillation import (
+    DirectDistiller,
+    DistillationDataset,
+    RobustDistiller,
+    collect_distillation_dataset,
+)
+from repro.core.mixing import MixedController, MixingTrainer
+from repro.experts.base import Controller, NeuralController
+from repro.systems.base import ControlSystem
+from repro.utils.logging import TrainingLogger
+from repro.utils.seeding import RngLike, get_rng
+
+
+@dataclass
+class CocktailResult:
+    """Everything produced by one run of Algorithm 1."""
+
+    #: The mixed controller design A_W (teacher).
+    mixed_controller: MixedController
+    #: The robustly-distilled student kappa* -- the framework's output.
+    student: NeuralController
+    #: The directly-distilled student kappa_D (None unless requested).
+    direct_student: Optional[NeuralController]
+    #: The experts the run started from.
+    experts: List[Controller]
+    #: The dataset used for distillation.
+    dataset: DistillationDataset
+    #: Training loggers keyed by stage name.
+    loggers: Dict[str, TrainingLogger] = field(default_factory=dict)
+
+    def controllers(self) -> Dict[str, Controller]:
+        """All named controllers of Table I produced by this run."""
+
+        named: Dict[str, Controller] = {}
+        for index, expert in enumerate(self.experts, start=1):
+            named[f"kappa{index}"] = expert
+        named["AW"] = self.mixed_controller
+        if self.direct_student is not None:
+            named["kappaD"] = self.direct_student
+        named["kappa_star"] = self.student
+        return named
+
+
+class CocktailPipeline:
+    """Drives Algorithm 1 on one plant with a given set of experts."""
+
+    def __init__(
+        self,
+        system: ControlSystem,
+        experts: Sequence[Controller],
+        config: Optional[CocktailConfig] = None,
+        rng: RngLike = None,
+    ):
+        if len(experts) < 2:
+            raise ValueError("Cocktail requires at least two experts")
+        self.system = system
+        self.experts = list(experts)
+        self.config = config if config is not None else CocktailConfig()
+        self._rng = get_rng(rng if rng is not None else self.config.seed)
+
+    # ------------------------------------------------------------------
+    def train_mixing(self) -> MixedController:
+        """Step 1: RL-based adaptive mixing, returning ``A_W``."""
+
+        trainer = MixingTrainer(self.system, self.experts, config=self.config.mixing, rng=self._rng)
+        mixed = trainer.train()
+        self._mixing_logger = trainer.logger
+        return mixed
+
+    def collect_dataset(self, teacher: Controller) -> DistillationDataset:
+        """Step 2: query the teacher over trajectories and the safe region."""
+
+        return collect_distillation_dataset(
+            self.system,
+            teacher,
+            size=self.config.distillation.dataset_size,
+            trajectory_fraction=self.config.distillation.trajectory_fraction,
+            rng=self._rng,
+        )
+
+    def distill(self, dataset: DistillationDataset, robust: bool = True) -> NeuralController:
+        """Step 3: distil the teacher dataset into a single student network."""
+
+        distiller_cls = RobustDistiller if robust else DirectDistiller
+        distiller = distiller_cls(self.system, config=self.config.distillation, rng=self._rng)
+        student = distiller.distill(dataset)
+        logger_key = "robust_distillation" if robust else "direct_distillation"
+        self._distillation_loggers[logger_key] = distiller.logger
+        return student
+
+    # ------------------------------------------------------------------
+    def run(self, include_direct_baseline: bool = True) -> CocktailResult:
+        """Execute the full pipeline and return every controller of Table I."""
+
+        self._distillation_loggers: Dict[str, TrainingLogger] = {}
+        mixed = self.train_mixing()
+        dataset = self.collect_dataset(mixed)
+        student = self.distill(dataset, robust=True)
+        direct_student = self.distill(dataset, robust=False) if include_direct_baseline else None
+
+        loggers: Dict[str, TrainingLogger] = dict(self._distillation_loggers)
+        if getattr(self, "_mixing_logger", None) is not None:
+            loggers["mixing"] = self._mixing_logger
+        return CocktailResult(
+            mixed_controller=mixed,
+            student=student,
+            direct_student=direct_student,
+            experts=self.experts,
+            dataset=dataset,
+            loggers=loggers,
+        )

@@ -1,0 +1,123 @@
+"""Configuration dataclasses for the Cocktail pipeline.
+
+All the symbols of Algorithm 1 appear here: the weight bound ``AB_i``, the
+number of epochs ``N`` and steps ``T``, the distillation start epoch ``N_E``
+(realised as a separate distillation phase with its own epoch budget), the
+perturbation bound ``Delta``, the adversarial probability ``p`` and the
+regularisation weight ``lambda``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.rl.ppo import PPOConfig
+
+
+@dataclass
+class MixingConfig:
+    """Hyper-parameters of the RL-based adaptive mixing step (Section III-A)."""
+
+    #: Per-expert weight bound AB_i (weights live in [-AB_i, AB_i], AB_i >= 1).
+    weight_bound: float = 1.5
+    #: RL algorithm for the mixing policy: "ppo" (Proposition 1) or "ddpg" (Remark 1).
+    algorithm: str = "ppo"
+    #: PPO epochs N and steps per epoch.
+    epochs: int = 30
+    steps_per_epoch: int = 2048
+    #: Reward shaping: punishment on safety violation and energy weight.
+    punishment: float = -100.0
+    energy_weight: float = 0.05
+    survival_bonus: float = 1.0
+    gamma: float = 0.99
+    hidden_sizes: Tuple[int, ...] = (64, 64)
+    policy_lr: float = 3e-4
+    value_lr: float = 1e-3
+    #: PPO objective: "clip" or "kl" (the adaptive-KL form written in the paper).
+    objective: str = "clip"
+    #: Warm-start value for the policy's initial weight output.  ``None``
+    #: starts from the uniform mixture 1/n (a sensible prior that keeps the
+    #: mixed controller competitive even with small RL budgets); pass a
+    #: vector to start elsewhere, or ``0.0`` to disable the warm start.
+    initial_weights: Optional[object] = None
+    seed: Optional[int] = None
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.weight_bound < 1.0:
+            raise ValueError("the paper requires AB_i >= 1 so a single expert is representable")
+        if self.algorithm not in ("ppo", "ddpg"):
+            raise ValueError("algorithm must be 'ppo' or 'ddpg'")
+
+    def ppo_config(self) -> PPOConfig:
+        return PPOConfig(
+            epochs=self.epochs,
+            steps_per_epoch=self.steps_per_epoch,
+            gamma=self.gamma,
+            policy_lr=self.policy_lr,
+            value_lr=self.value_lr,
+            objective=self.objective,
+            hidden_sizes=self.hidden_sizes,
+            seed=self.seed,
+            verbose=self.verbose,
+        )
+
+
+@dataclass
+class DistillationConfig:
+    """Hyper-parameters of the robust distillation step (Section III-B)."""
+
+    #: Student architecture.
+    hidden_sizes: Tuple[int, ...] = (32, 32)
+    activation: str = "tanh"
+    #: Number of training epochs over the distillation dataset.
+    epochs: int = 200
+    batch_size: int = 128
+    learning_rate: float = 1e-3
+    #: Perturbation bound Delta for the FGSM adversarial examples, expressed
+    #: as a fraction of the system state value bound (the paper attacks with
+    #: 10-15 % of that bound, and trains with the same or smaller bound).
+    perturbation_fraction: float = 0.1
+    #: Probability p of taking the adversarial branch at each step (line 12-13).
+    adversarial_probability: float = 0.5
+    #: L2 regularisation weight lambda (line 14).
+    l2_weight: float = 1e-3
+    #: Number of states in the distillation dataset and how they are drawn.
+    dataset_size: int = 4000
+    #: Fraction of the dataset drawn from teacher closed-loop trajectories
+    #: (the rest is sampled uniformly from the safe region).  Trajectory
+    #: states concentrate the regression on the operating distribution,
+    #: which matters for open-loop-unstable plants such as the cartpole.
+    trajectory_fraction: float = 0.6
+    seed: Optional[int] = None
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.adversarial_probability <= 1.0:
+            raise ValueError("adversarial_probability must be in [0, 1]")
+        if self.perturbation_fraction < 0:
+            raise ValueError("perturbation_fraction must be non-negative")
+        if not 0.0 <= self.trajectory_fraction <= 1.0:
+            raise ValueError("trajectory_fraction must be in [0, 1]")
+        if self.dataset_size <= 0:
+            raise ValueError("dataset_size must be positive")
+
+
+@dataclass
+class CocktailConfig:
+    """End-to-end configuration of Algorithm 1."""
+
+    mixing: MixingConfig = field(default_factory=MixingConfig)
+    distillation: DistillationConfig = field(default_factory=DistillationConfig)
+    seed: Optional[int] = None
+
+    @classmethod
+    def fast(cls, seed: Optional[int] = 0) -> "CocktailConfig":
+        """A small-budget configuration used by tests and the quickstart example."""
+
+        return cls(
+            mixing=MixingConfig(epochs=3, steps_per_epoch=256, seed=seed),
+            distillation=DistillationConfig(epochs=30, dataset_size=600, seed=seed),
+            seed=seed,
+        )

@@ -1,0 +1,221 @@
+"""Teacher-student distillation of the mixed controller (Section III-B).
+
+Two distillers share the same dataset and student architecture:
+
+* :class:`DirectDistiller` -- plain MSE regression of the student onto the
+  teacher, producing the paper's ``kappa_D`` baseline.
+* :class:`RobustDistiller` -- the paper's hybrid probabilistic learning
+  process (Algorithm 1 lines 11-15): with probability ``p`` the training
+  batch is replaced by FGSM adversarial examples
+  ``s + Delta * sign(grad_s l(kappa*(s; q), u))`` and the loss always carries
+  the L2 regulariser ``lambda * ||q||_2^2``, solving the min-max problem
+
+  .. math:: \\min_q ( \\max_{||\\delta|| \\le \\Delta}
+            l(\\kappa^*(s + \\delta; q), u) + \\lambda ||q||_2^2 )
+
+  which empirically drives the student's Lipschitz constant down and with it
+  improves robustness and verification time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor, functional
+from repro.core.config import DistillationConfig
+from repro.experts.base import Controller, NeuralController
+from repro.nn.lipschitz import network_lipschitz
+from repro.nn.network import MLP
+from repro.nn.optim import Adam
+from repro.systems.base import ControlSystem
+from repro.systems.simulation import rollout
+from repro.utils.logging import TrainingLogger
+from repro.utils.seeding import RngLike, get_rng
+
+
+@dataclass
+class DistillationDataset:
+    """Supervised pairs ``(state, teacher control)`` for the regression."""
+
+    states: np.ndarray
+    controls: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.states = np.atleast_2d(np.asarray(self.states, dtype=np.float64))
+        self.controls = np.atleast_2d(np.asarray(self.controls, dtype=np.float64))
+        if len(self.states) != len(self.controls):
+            raise ValueError("states and controls must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def minibatches(self, batch_size: int, rng: RngLike = None):
+        order = get_rng(rng).permutation(len(self))
+        for start in range(0, len(self), batch_size):
+            index = order[start : start + batch_size]
+            yield self.states[index], self.controls[index]
+
+    def split(self, validation_fraction: float = 0.1, rng: RngLike = None) -> Tuple["DistillationDataset", "DistillationDataset"]:
+        """Split into train/validation subsets."""
+
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        order = get_rng(rng).permutation(len(self))
+        cut = int(len(self) * (1.0 - validation_fraction))
+        train_index, valid_index = order[:cut], order[cut:]
+        return (
+            DistillationDataset(self.states[train_index], self.controls[train_index]),
+            DistillationDataset(self.states[valid_index], self.controls[valid_index]),
+        )
+
+
+def collect_distillation_dataset(
+    system: ControlSystem,
+    teacher: Controller,
+    size: int,
+    trajectory_fraction: float = 0.5,
+    rng: RngLike = None,
+) -> DistillationDataset:
+    """Build the regression dataset by querying the teacher.
+
+    A ``trajectory_fraction`` share of the states comes from closed-loop
+    teacher rollouts (so the student sees the state distribution it will
+    operate in) and the rest from uniform sampling of the safe region (so the
+    student generalises over all of ``X``, which the verification step
+    requires).
+    """
+
+    if size <= 0:
+        raise ValueError("size must be positive")
+    generator = get_rng(rng)
+    trajectory_count = int(size * trajectory_fraction)
+    states = []
+
+    while len(states) < trajectory_count:
+        initial_state = system.sample_initial_state(generator)
+        trajectory = rollout(system, teacher, initial_state, rng=generator)
+        for state in trajectory.states:
+            if system.is_safe(state):
+                states.append(state)
+            if len(states) >= trajectory_count:
+                break
+
+    remaining = size - len(states)
+    if remaining > 0:
+        uniform = system.safe_region.sample(generator, count=remaining)
+        states.extend(list(uniform))
+
+    states = np.asarray(states[:size])
+    controls = np.stack([system.clip_control(np.atleast_1d(teacher(state))) for state in states], axis=0)
+    return DistillationDataset(states, controls)
+
+
+class _BaseDistiller:
+    """Shared training-loop machinery for both distillers."""
+
+    name = "distiller"
+
+    def __init__(self, system: ControlSystem, config: Optional[DistillationConfig] = None, rng: RngLike = None):
+        self.system = system
+        self.config = config if config is not None else DistillationConfig()
+        self._rng = get_rng(rng if rng is not None else self.config.seed)
+        self.logger = TrainingLogger(self.name, verbose=self.config.verbose)
+        self.student: Optional[MLP] = None
+
+    # -- hooks -----------------------------------------------------------------
+    def _batch_loss(self, states: np.ndarray, controls: np.ndarray, student: MLP) -> Tensor:
+        raise NotImplementedError
+
+    # -- training ----------------------------------------------------------------
+    def _build_student(self) -> MLP:
+        return MLP(
+            self.system.state_dim,
+            self.system.control_dim,
+            hidden_sizes=self.config.hidden_sizes,
+            activation=self.config.activation,
+            seed=self.config.seed,
+        )
+
+    def distill(self, dataset: DistillationDataset, epochs: Optional[int] = None) -> NeuralController:
+        """Train the student on the dataset and return it as a controller."""
+
+        student = self._build_student()
+        optimizer = Adam(student.parameters(), lr=self.config.learning_rate)
+        epochs = epochs if epochs is not None else self.config.epochs
+        for _ in range(epochs):
+            epoch_losses = []
+            for states, controls in dataset.minibatches(self.config.batch_size, rng=self._rng):
+                optimizer.zero_grad()
+                loss = self._batch_loss(states, controls, student)
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(float(loss.data))
+            self.logger.log(
+                loss=float(np.mean(epoch_losses)) if epoch_losses else 0.0,
+                lipschitz=network_lipschitz(student),
+            )
+        self.student = student
+        return NeuralController(student, name=self.controller_name())
+
+    def controller_name(self) -> str:
+        return self.name
+
+    def evaluate_regression_error(self, dataset: DistillationDataset) -> float:
+        """Mean squared regression error of the trained student on a dataset."""
+
+        if self.student is None:
+            raise RuntimeError("distill() must be called before evaluation")
+        predictions = np.atleast_2d(self.student.predict(dataset.states))
+        return float(np.mean((predictions - dataset.controls) ** 2))
+
+
+class DirectDistiller(_BaseDistiller):
+    """Plain regression distillation producing the ``kappa_D`` baseline."""
+
+    name = "direct-distillation"
+
+    def controller_name(self) -> str:
+        return "kappaD"
+
+    def _batch_loss(self, states: np.ndarray, controls: np.ndarray, student: MLP) -> Tensor:
+        predictions = student(Tensor(states))
+        return functional.mse_loss(predictions, controls)
+
+
+class RobustDistiller(_BaseDistiller):
+    """Probabilistic adversarial training + L2 regularisation (``kappa*``)."""
+
+    name = "robust-distillation"
+
+    def controller_name(self) -> str:
+        return "kappa_star"
+
+    def perturbation_bound(self) -> np.ndarray:
+        """Delta: the FGSM bound as a fraction of the state value bound."""
+
+        return self.config.perturbation_fraction * self.system.state_scale()
+
+    def _fgsm_states(self, states: np.ndarray, controls: np.ndarray, student: MLP) -> np.ndarray:
+        """Algorithm 1 line 13: ``delta = Delta * sign(grad_s l(kappa*(s), u))``."""
+
+        state_tensor = Tensor(states, requires_grad=True)
+        predictions = student(state_tensor)
+        loss = functional.mse_loss(predictions, controls)
+        loss.backward()
+        gradient_sign = np.sign(state_tensor.grad)
+        gradient_sign[gradient_sign == 0.0] = 1.0
+        delta = self.perturbation_bound() * gradient_sign
+        return states + delta
+
+    def _batch_loss(self, states: np.ndarray, controls: np.ndarray, student: MLP) -> Tensor:
+        # Line 12: z ~ U[0, 1]; take the adversarial branch when z <= p.
+        if float(self._rng.uniform()) <= self.config.adversarial_probability:
+            states = self._fgsm_states(states, controls, student)
+        predictions = student(Tensor(states))
+        loss = functional.mse_loss(predictions, controls)
+        # Line 14: + lambda * ||q||_2^2
+        penalty = functional.l2_penalty(student.parameters())
+        return loss + self.config.l2_weight * penalty

@@ -1,0 +1,113 @@
+"""Default expert pairs (κ1, κ2) for the three test systems.
+
+The paper's experts are deliberately *not* optimal -- they differ in strength
+across the state space, which is what the adaptive mixer exploits.  Two
+flavours are provided:
+
+* ``mode="analytic"`` (default) -- deterministic model-based experts with the
+  same qualitative contrast the paper describes: κ1 aggressive / robust /
+  energy-hungry, κ2 gentle / energy-frugal / less safe near the boundary of
+  ``X0``.  These run instantly, keeping the examples, tests and quick
+  benchmark mode tractable on a laptop.
+* ``mode="ddpg"`` -- faithful to the paper: two DDPG actors trained with
+  different hyper-parameters (hidden sizes, exploration, reward weights).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.experts.base import Controller, LinearStateFeedback
+from repro.experts.ddpg_expert import DDPGExpertSpec, train_ddpg_expert
+from repro.experts.feedback_linearization import VanDerPolFeedbackLinearization
+from repro.experts.lqr import LQRController
+from repro.experts.polynomial import PolynomialController
+from repro.systems.base import ControlSystem
+from repro.systems.cartpole import CartPole
+from repro.systems.linear3d import ThreeDimensionalSystem
+from repro.systems.vanderpol import VanDerPolOscillator
+from repro.utils.seeding import RngLike
+
+
+def make_default_experts(
+    system: ControlSystem,
+    mode: str = "analytic",
+    rng: RngLike = None,
+    ddpg_episodes: Optional[int] = None,
+) -> List[Controller]:
+    """Return the expert pair ``[kappa1, kappa2]`` for one of the test systems."""
+
+    if mode not in ("analytic", "ddpg"):
+        raise ValueError("mode must be 'analytic' or 'ddpg'")
+    if mode == "ddpg":
+        return _ddpg_experts(system, rng=rng, episodes=ddpg_episodes)
+    if isinstance(system, VanDerPolOscillator):
+        return _vanderpol_experts(system)
+    if isinstance(system, ThreeDimensionalSystem):
+        return _three_dimensional_experts(system)
+    if isinstance(system, CartPole):
+        return _cartpole_experts(system)
+    raise ValueError(f"no default experts defined for system {system.name!r}")
+
+
+# ----------------------------------------------------------------------
+# Analytic expert pairs
+# ----------------------------------------------------------------------
+def _vanderpol_experts(system: VanDerPolOscillator) -> List[Controller]:
+    # kappa1: feedback linearisation -- strong everywhere, high control effort,
+    # high Lipschitz constant (the |1 - s1^2| term grows with |s1|).
+    kappa1 = VanDerPolFeedbackLinearization(k1=4.0, k2=6.0, mu=system.mu, name="kappa1")
+    kappa1.name = "kappa1"
+    # kappa2: weak linear feedback, cheap but it neither cancels the
+    # nonlinearity nor reacts strongly near the boundary of X0, so
+    # trajectories that start near the corners can escape -- a weaker,
+    # energy-frugal expert.
+    kappa2 = LinearStateFeedback([[0.4, 0.6]], name="kappa2")
+    return [kappa1, kappa2]
+
+
+def _three_dimensional_experts(system: ThreeDimensionalSystem) -> List[Controller]:
+    # kappa1: aggressive LQR (cheap control penalty -> larger gains).
+    kappa1 = LQRController(system, state_cost=1.0, control_cost=0.05, name="kappa1")
+    # kappa2: the polynomial controller of Sassi et al. -- low gains, very
+    # small Lipschitz constant (the paper reports L = 0.72 for it).
+    kappa2 = PolynomialController.default_three_dimensional()
+    kappa2.name = "kappa2"
+    return [kappa1, kappa2]
+
+
+def _cartpole_experts(system: CartPole) -> List[Controller]:
+    # kappa1: aggressive LQR balancing both cart position and pole angle.
+    kappa1 = LQRController(system, state_cost=1.0, control_cost=0.05, name="kappa1")
+    # kappa2: angle-only feedback (u = 18*theta + 2.5*theta_dot) -- keeps the
+    # pole up cheaply but ignores the cart position, so the cart can drift
+    # out of [-2.4, 2.4] on long horizons.
+    kappa2 = LinearStateFeedback([[0.0, 0.0, -18.0, -2.5]], name="kappa2")
+    return [kappa1, kappa2]
+
+
+# ----------------------------------------------------------------------
+# DDPG expert pairs (paper-faithful)
+# ----------------------------------------------------------------------
+def _ddpg_experts(system: ControlSystem, rng: RngLike = None, episodes: Optional[int] = None) -> List[Controller]:
+    spec1 = DDPGExpertSpec(
+        hidden_sizes=(64, 64),
+        actor_lr=1e-3,
+        exploration_noise=0.15,
+        state_weight=1.0,
+        energy_weight=0.01,
+        seed=0,
+        name="kappa1",
+    )
+    spec2 = DDPGExpertSpec(
+        hidden_sizes=(32, 32),
+        actor_lr=3e-4,
+        exploration_noise=0.05,
+        state_weight=0.5,
+        energy_weight=0.05,
+        seed=1,
+        name="kappa2",
+    )
+    kappa1 = train_ddpg_expert(system, spec1, rng=rng, episodes=episodes)
+    kappa2 = train_ddpg_expert(system, spec2, rng=rng, episodes=episodes)
+    return [kappa1, kappa2]

@@ -1,0 +1,32 @@
+"""Feedback-linearising expert for the Van der Pol oscillator.
+
+Cancels the oscillator's nonlinearity and imposes linear error dynamics:
+
+``u = -(1 - s1^2) * mu * s2 + s1 - k1 * s1 - k2 * s2``
+
+so that the closed loop behaves as ``s2(t+1) = s2 + tau (-k1 s1 - k2 s2)``.
+With moderate gains this is a strong (high safe-rate) but energy-hungry and
+high-Lipschitz expert -- the κ1 role in Table I.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experts.base import Controller
+
+
+class VanDerPolFeedbackLinearization(Controller):
+    """Exactly-linearising state feedback with tunable linear gains."""
+
+    def __init__(self, k1: float = 4.0, k2: float = 6.0, mu: float = 1.0, name: str = "feedback-linearization"):
+        self.k1 = float(k1)
+        self.k2 = float(k2)
+        self.mu = float(mu)
+        self.name = name
+
+    def control(self, state: np.ndarray) -> np.ndarray:
+        s1, s2 = state
+        cancel = -(1.0 - s1**2) * self.mu * s2 + s1
+        stabilise = -self.k1 * s1 - self.k2 * s2
+        return np.array([cancel + stabilise])

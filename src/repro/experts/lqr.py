@@ -1,0 +1,111 @@
+"""LQR expert on a numerical linearisation of the plant.
+
+The paper's model-based experts include LQR; we build one generically for
+any :class:`repro.systems.ControlSystem` by linearising the discrete dynamics
+around an equilibrium with central finite differences and solving the
+discrete algebraic Riccati equation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import solve_discrete_are
+
+from repro.experts.base import Controller
+from repro.systems.base import ControlSystem
+
+
+def linearize(
+    system: ControlSystem,
+    state_equilibrium: Optional[Sequence[float]] = None,
+    control_equilibrium: Optional[Sequence[float]] = None,
+    epsilon: float = 1e-5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Finite-difference linearisation ``s(t+1) ≈ A s(t) + B u(t)`` about an equilibrium.
+
+    Returns the discrete-time Jacobians ``(A, B)`` of the nominal (zero
+    disturbance) dynamics.
+    """
+
+    x0 = (
+        np.zeros(system.state_dim)
+        if state_equilibrium is None
+        else np.asarray(state_equilibrium, dtype=np.float64)
+    )
+    u0 = (
+        np.zeros(system.control_dim)
+        if control_equilibrium is None
+        else np.asarray(control_equilibrium, dtype=np.float64)
+    )
+    zero_disturbance = np.zeros(system.state_dim)
+
+    def f(state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        return system.dynamics(state, control, zero_disturbance)
+
+    A = np.zeros((system.state_dim, system.state_dim))
+    for index in range(system.state_dim):
+        plus = x0.copy()
+        minus = x0.copy()
+        plus[index] += epsilon
+        minus[index] -= epsilon
+        A[:, index] = (f(plus, u0) - f(minus, u0)) / (2.0 * epsilon)
+
+    B = np.zeros((system.state_dim, system.control_dim))
+    for index in range(system.control_dim):
+        plus = u0.copy()
+        minus = u0.copy()
+        plus[index] += epsilon
+        minus[index] -= epsilon
+        B[:, index] = (f(x0, plus) - f(x0, minus)) / (2.0 * epsilon)
+
+    return A, B
+
+
+class LQRController(Controller):
+    """Infinite-horizon discrete LQR ``u = -K (s - s_eq)``.
+
+    Parameters
+    ----------
+    system:
+        Plant to linearise.
+    state_cost, control_cost:
+        ``Q`` and ``R`` matrices (scalars are expanded to scaled identities).
+        A small ``R`` yields an aggressive expert (large gains, large
+        Lipschitz constant); a large ``R`` yields a gentle, energy-frugal one
+        -- the two flavours play the role of the paper's κ1/κ2 experts.
+    """
+
+    def __init__(
+        self,
+        system: ControlSystem,
+        state_cost: float = 1.0,
+        control_cost: float = 1.0,
+        state_equilibrium: Optional[Sequence[float]] = None,
+        name: str = "lqr",
+    ):
+        A, B = linearize(system, state_equilibrium=state_equilibrium)
+        Q = np.eye(system.state_dim) * float(state_cost) if np.isscalar(state_cost) else np.asarray(state_cost)
+        R = (
+            np.eye(system.control_dim) * float(control_cost)
+            if np.isscalar(control_cost)
+            else np.asarray(control_cost)
+        )
+        P = solve_discrete_are(A, B, Q, R)
+        self.gain = np.linalg.solve(R + B.T @ P @ B, B.T @ P @ A)
+        self.A = A
+        self.B = B
+        self.state_equilibrium = (
+            np.zeros(system.state_dim)
+            if state_equilibrium is None
+            else np.asarray(state_equilibrium, dtype=np.float64)
+        )
+        self.name = name
+
+    def control(self, state: np.ndarray) -> np.ndarray:
+        return -self.gain @ (state - self.state_equilibrium)
+
+    def batch_control(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        return -((states - self.state_equilibrium) @ self.gain.T)

@@ -1,0 +1,60 @@
+"""PID expert controller.
+
+PID is one of the classic model-based experts the related work (rule-based
+switching of Gong et al.) builds on.  The controller regulates a linear
+combination of state components towards a setpoint and is stateful (integral
+and derivative terms), so it exposes :meth:`reset` which the rollout helpers
+call between episodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experts.base import Controller
+
+
+class PIDController(Controller):
+    """Single-output PID on the error ``e = setpoint - selection @ state``."""
+
+    def __init__(
+        self,
+        kp: float,
+        ki: float = 0.0,
+        kd: float = 0.0,
+        selection: Optional[Sequence[float]] = None,
+        setpoint: float = 0.0,
+        dt: float = 0.05,
+        output_limit: Optional[float] = None,
+        name: str = "pid",
+    ):
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self.selection = None if selection is None else np.asarray(selection, dtype=np.float64)
+        self.setpoint = float(setpoint)
+        self.dt = float(dt)
+        self.output_limit = output_limit
+        self.name = name
+        self._integral = 0.0
+        self._previous_error: Optional[float] = None
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._previous_error = None
+
+    def control(self, state: np.ndarray) -> np.ndarray:
+        if self.selection is None:
+            measurement = float(state[0])
+        else:
+            measurement = float(self.selection @ state)
+        error = self.setpoint - measurement
+        self._integral += error * self.dt
+        derivative = 0.0 if self._previous_error is None else (error - self._previous_error) / self.dt
+        self._previous_error = error
+        output = self.kp * error + self.ki * self._integral + self.kd * derivative
+        if self.output_limit is not None:
+            output = float(np.clip(output, -self.output_limit, self.output_limit))
+        return np.array([output])

@@ -1,0 +1,162 @@
+"""Controller evaluation harness producing the paper's table rows.
+
+``evaluate_controllers`` takes the named controllers of one system (the
+experts, ``A_S``, ``A_W``, ``kappa_D``, ``kappa*``) and returns, for each,
+the metrics of Table I (clean safe rate, energy, Lipschitz constant) and
+optionally of Table II (safe rate and energy under FGSM attack and under
+measurement noise), all measured on the same set of sampled initial states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experts.base import Controller
+from repro.metrics.lipschitz import controller_lipschitz
+from repro.metrics.robustness import RobustnessResult, evaluate_robustness
+from repro.systems.base import ControlSystem
+from repro.systems.simulation import sample_initial_states
+from repro.utils.seeding import RngLike, get_rng
+from repro.utils.tables import ResultTable
+
+
+@dataclass
+class ControllerMetrics:
+    """All metrics for one controller on one system."""
+
+    name: str
+    clean: RobustnessResult
+    lipschitz: Optional[float] = None
+    under_attack: Optional[RobustnessResult] = None
+    under_noise: Optional[RobustnessResult] = None
+
+    def as_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "safe_rate": self.clean.safe_rate,
+            "energy": self.clean.mean_energy,
+            "lipschitz": self.lipschitz,
+        }
+        if self.under_attack is not None:
+            record["attack_safe_rate"] = self.under_attack.safe_rate
+            record["attack_energy"] = self.under_attack.mean_energy
+        if self.under_noise is not None:
+            record["noise_safe_rate"] = self.under_noise.safe_rate
+            record["noise_energy"] = self.under_noise.mean_energy
+        return record
+
+
+def evaluate_controller(
+    system: ControlSystem,
+    controller: Controller,
+    name: Optional[str] = None,
+    samples: int = 500,
+    perturbation_fraction: float = 0.1,
+    include_perturbed: bool = False,
+    initial_states: Optional[np.ndarray] = None,
+    rng: RngLike = None,
+) -> ControllerMetrics:
+    """Measure one controller; see :func:`evaluate_controllers` for the batch form."""
+
+    generator = get_rng(rng)
+    if initial_states is None:
+        initial_states = sample_initial_states(system, samples, rng=generator)
+    name = name if name is not None else getattr(controller, "name", "controller")
+
+    clean = evaluate_robustness(
+        system, controller, perturbation="none", samples=samples, rng=generator, initial_states=initial_states
+    )
+    metrics = ControllerMetrics(
+        name=name,
+        clean=clean,
+        lipschitz=controller_lipschitz(controller, system),
+    )
+    if include_perturbed:
+        metrics.under_attack = evaluate_robustness(
+            system,
+            controller,
+            perturbation="attack",
+            fraction=perturbation_fraction,
+            samples=samples,
+            rng=generator,
+            initial_states=initial_states,
+        )
+        metrics.under_noise = evaluate_robustness(
+            system,
+            controller,
+            perturbation="noise",
+            fraction=perturbation_fraction,
+            samples=samples,
+            rng=generator,
+            initial_states=initial_states,
+        )
+    return metrics
+
+
+def evaluate_controllers(
+    system: ControlSystem,
+    controllers: Dict[str, Controller],
+    samples: int = 500,
+    perturbation_fraction: float = 0.1,
+    include_perturbed: bool = False,
+    seed: int = 0,
+) -> Dict[str, ControllerMetrics]:
+    """Evaluate every named controller on the same sampled initial states."""
+
+    generator = get_rng(seed)
+    initial_states = sample_initial_states(system, samples, rng=generator)
+    results: Dict[str, ControllerMetrics] = {}
+    for name, controller in controllers.items():
+        results[name] = evaluate_controller(
+            system,
+            controller,
+            name=name,
+            samples=samples,
+            perturbation_fraction=perturbation_fraction,
+            include_perturbed=include_perturbed,
+            initial_states=initial_states,
+            rng=get_rng(seed + 1),
+        )
+    return results
+
+
+def metrics_to_table(title: str, metrics: Dict[str, ControllerMetrics]) -> ResultTable:
+    """Render a Table-I-style result table (rows Sr / e / L, one column per controller)."""
+
+    table = ResultTable(title, columns=list(metrics.keys()))
+    table.add_row("Sr (%)", {name: 100.0 * metric.clean.safe_rate for name, metric in metrics.items()})
+    table.add_row("e", {name: metric.clean.mean_energy for name, metric in metrics.items()})
+    table.add_row("L", {name: metric.lipschitz for name, metric in metrics.items()})
+    return table
+
+
+def perturbed_metrics_to_table(title: str, metrics: Dict[str, ControllerMetrics]) -> ResultTable:
+    """Render a Table-II-style table (attack and noise rows) for the given controllers."""
+
+    table = ResultTable(title, columns=list(metrics.keys()))
+    table.add_row(
+        "Sr attack (%)",
+        {
+            name: (100.0 * metric.under_attack.safe_rate if metric.under_attack else None)
+            for name, metric in metrics.items()
+        },
+    )
+    table.add_row(
+        "e attack",
+        {name: (metric.under_attack.mean_energy if metric.under_attack else None) for name, metric in metrics.items()},
+    )
+    table.add_row(
+        "Sr noise (%)",
+        {
+            name: (100.0 * metric.under_noise.safe_rate if metric.under_noise else None)
+            for name, metric in metrics.items()
+        },
+    )
+    table.add_row(
+        "e noise",
+        {name: (metric.under_noise.mean_energy if metric.under_noise else None) for name, metric in metrics.items()},
+    )
+    return table

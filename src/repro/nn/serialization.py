@@ -1,0 +1,54 @@
+"""Saving and loading network parameters.
+
+Networks are persisted as ``.npz`` archives containing the flattened state
+dictionary plus a JSON architecture description, so an :class:`repro.nn.MLP`
+can be reconstructed without the original Python object.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.network import MLP
+
+PathLike = Union[str, Path]
+
+_ARCH_KEY = "__architecture_json__"
+
+
+def state_dict_from_module(module: Module) -> Dict[str, np.ndarray]:
+    """Convenience wrapper around :meth:`Module.state_dict`."""
+
+    return module.state_dict()
+
+
+def save_state_dict(network: MLP, path: PathLike) -> Path:
+    """Persist an MLP (weights + architecture) to ``path`` as ``.npz``."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(network.state_dict())
+    arch = json.dumps(network.architecture())
+    payload[_ARCH_KEY] = np.frombuffer(arch.encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state_dict(path: PathLike) -> MLP:
+    """Load an MLP saved by :func:`save_state_dict`."""
+
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        arch_bytes = archive[_ARCH_KEY].tobytes()
+        spec = json.loads(arch_bytes.decode("utf-8"))
+        network = MLP.from_architecture(spec)
+        state = {key: archive[key] for key in archive.files if key != _ARCH_KEY}
+    network.load_state_dict(state)
+    return network

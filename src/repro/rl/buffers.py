@@ -1,0 +1,142 @@
+"""Experience storage: on-policy rollout buffer (PPO) and replay memory (DDPG)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import RngLike, get_rng
+
+
+@dataclass
+class RolloutBuffer:
+    """Stores one batch of on-policy transitions for PPO.
+
+    Transitions are appended step by step; episode boundaries are recorded
+    through the ``done`` flags so GAE can reset its accumulator.  After
+    advantages are attached, :meth:`minibatches` yields shuffled index
+    batches for the policy/value updates.
+    """
+
+    states: List[np.ndarray] = field(default_factory=list)
+    actions: List[np.ndarray] = field(default_factory=list)
+    rewards: List[float] = field(default_factory=list)
+    dones: List[bool] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    log_probs: List[float] = field(default_factory=list)
+    last_value: float = 0.0
+    advantages: Optional[np.ndarray] = None
+    returns: Optional[np.ndarray] = None
+
+    def add(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        done: bool,
+        value: float,
+        log_prob: float,
+    ) -> None:
+        self.states.append(np.asarray(state, dtype=np.float64))
+        self.actions.append(np.atleast_1d(np.asarray(action, dtype=np.float64)))
+        self.rewards.append(float(reward))
+        self.dones.append(bool(done))
+        self.values.append(float(value))
+        self.log_probs.append(float(log_prob))
+
+    def __len__(self) -> int:
+        return len(self.rewards)
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "states": np.asarray(self.states),
+            "actions": np.asarray(self.actions),
+            "rewards": np.asarray(self.rewards),
+            "dones": np.asarray(self.dones, dtype=bool),
+            "values": np.asarray(self.values),
+            "log_probs": np.asarray(self.log_probs),
+        }
+
+    def set_advantages(self, advantages: np.ndarray, returns: np.ndarray, normalize: bool = True) -> None:
+        advantages = np.asarray(advantages, dtype=np.float64)
+        if normalize and advantages.size > 1:
+            std = advantages.std()
+            advantages = (advantages - advantages.mean()) / (std + 1e-8)
+        self.advantages = advantages
+        self.returns = np.asarray(returns, dtype=np.float64)
+
+    def minibatches(self, batch_size: int, rng: RngLike = None) -> Iterator[Dict[str, np.ndarray]]:
+        """Yield shuffled minibatches of the stored transitions."""
+
+        if self.advantages is None or self.returns is None:
+            raise RuntimeError("set_advantages() must be called before minibatches()")
+        data = self.arrays()
+        count = len(self)
+        order = get_rng(rng).permutation(count)
+        for start in range(0, count, batch_size):
+            index = order[start : start + batch_size]
+            yield {
+                "states": data["states"][index],
+                "actions": data["actions"][index],
+                "log_probs": data["log_probs"][index],
+                "advantages": self.advantages[index],
+                "returns": self.returns[index],
+            }
+
+    def clear(self) -> None:
+        self.states.clear()
+        self.actions.clear()
+        self.rewards.clear()
+        self.dones.clear()
+        self.values.clear()
+        self.log_probs.clear()
+        self.advantages = None
+        self.returns = None
+        self.last_value = 0.0
+
+
+class ReplayBuffer:
+    """Fixed-capacity uniform replay memory ``D`` used by DDPG (Algorithm 1, line 1)."""
+
+    def __init__(self, capacity: int, state_dim: int, action_dim: int, rng: RngLike = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.state_dim = int(state_dim)
+        self.action_dim = int(action_dim)
+        self._rng = get_rng(rng)
+        self._states = np.zeros((capacity, state_dim))
+        self._actions = np.zeros((capacity, action_dim))
+        self._rewards = np.zeros(capacity)
+        self._next_states = np.zeros((capacity, state_dim))
+        self._dones = np.zeros(capacity)
+        self._cursor = 0
+        self._size = 0
+
+    def add(self, state, action, reward, next_state, done) -> None:
+        index = self._cursor
+        self._states[index] = np.asarray(state, dtype=np.float64)
+        self._actions[index] = np.atleast_1d(np.asarray(action, dtype=np.float64))
+        self._rewards[index] = float(reward)
+        self._next_states[index] = np.asarray(next_state, dtype=np.float64)
+        self._dones[index] = 1.0 if done else 0.0
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def sample(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._size == 0:
+            raise RuntimeError("cannot sample from an empty replay buffer")
+        batch_size = min(batch_size, self._size)
+        index = self._rng.integers(0, self._size, size=batch_size)
+        return (
+            self._states[index].copy(),
+            self._actions[index].copy(),
+            self._rewards[index].copy(),
+            self._next_states[index].copy(),
+            self._dones[index].copy(),
+        )

@@ -1,0 +1,127 @@
+"""Gym-style environment wrapper around a :class:`repro.systems.ControlSystem`.
+
+The wrapper implements the MDP of Section III-A: the observation is the
+(possibly perturbed) plant state, the episode terminates on a safety
+violation or after ``T`` steps, and the reward combines a large negative
+punishment for leaving the safe region with a monotonically-decreasing
+function of the applied control energy.
+
+The same wrapper trains the DDPG experts (action = control input), while the
+adaptive-mixing and switching environments in :mod:`repro.core.mixing` and
+:mod:`repro.baselines.switching` subclass it and override
+:meth:`ControlEnv.action_to_control`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.rl.spaces import BoxSpace
+from repro.systems.base import ControlSystem
+from repro.systems.simulation import PerturbationFn
+from repro.utils.seeding import RngLike, get_rng
+
+
+@dataclass
+class RewardFunction:
+    """The paper's reward: punishment on violation, energy cost otherwise.
+
+    ``r(s, a) = R_pun`` when the next state is unsafe, otherwise
+    ``h(||u||_1)`` with ``h`` monotonically decreasing.  We use
+    ``h(x) = survival_bonus - energy_weight * x - state_weight * ||s||_2^2``;
+    the state term is optional (zero by default so the default matches the
+    paper exactly) but useful when training experts from scratch, which the
+    paper obtains with off-the-shelf DDPG.
+    """
+
+    punishment: float = -100.0
+    energy_weight: float = 0.05
+    survival_bonus: float = 1.0
+    state_weight: float = 0.0
+
+    def __call__(self, state: np.ndarray, control: np.ndarray, next_state: np.ndarray, safe: bool) -> float:
+        if not safe:
+            return float(self.punishment)
+        energy = float(np.sum(np.abs(control)))
+        state_cost = float(np.sum(np.asarray(next_state) ** 2)) if self.state_weight else 0.0
+        return float(self.survival_bonus - self.energy_weight * energy - self.state_weight * state_cost)
+
+
+class ControlEnv:
+    """Minimal gym-like API: ``reset() -> obs`` and ``step(a) -> (obs, r, done, info)``."""
+
+    def __init__(
+        self,
+        system: ControlSystem,
+        reward: Optional[RewardFunction] = None,
+        horizon: Optional[int] = None,
+        perturbation: Optional[PerturbationFn] = None,
+        rng: RngLike = None,
+    ):
+        self.system = system
+        self.reward = reward if reward is not None else RewardFunction()
+        self.horizon = int(horizon) if horizon is not None else system.horizon
+        self.perturbation = perturbation
+        self._rng = get_rng(rng)
+        self._state: Optional[np.ndarray] = None
+        self._steps = 0
+        self.observation_space = BoxSpace(system.safe_region.low, system.safe_region.high)
+        self.action_space = self.build_action_space()
+
+    # -- hooks ---------------------------------------------------------------
+    def build_action_space(self) -> BoxSpace:
+        """Default: the agent outputs the raw control input."""
+
+        return BoxSpace(self.system.control_bound.low, self.system.control_bound.high)
+
+    def action_to_control(self, action: np.ndarray, state: np.ndarray) -> np.ndarray:
+        """Map the agent's action to the control applied to the plant."""
+
+        return np.atleast_1d(np.asarray(action, dtype=np.float64))
+
+    # -- gym API ----------------------------------------------------------------
+    def seed(self, seed: int) -> None:
+        self._rng = get_rng(seed)
+
+    def reset(self, initial_state: Optional[np.ndarray] = None) -> np.ndarray:
+        if initial_state is None:
+            initial_state = self.system.sample_initial_state(self._rng)
+        self._state = np.asarray(initial_state, dtype=np.float64).copy()
+        self._steps = 0
+        return self._observe(self._state)
+
+    def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, dict]:
+        if self._state is None:
+            raise RuntimeError("step() called before reset()")
+        state = self._state
+        control = self.system.clip_control(self.action_to_control(np.asarray(action, dtype=np.float64), state))
+        next_state = self.system.step(state, control, rng=self._rng)
+        safe = self.system.is_safe(next_state)
+        reward = self.reward(state, control, next_state, safe)
+        self._steps += 1
+        done = (not safe) or self._steps >= self.horizon
+        self._state = next_state
+        info = {
+            "safe": safe,
+            "control": control,
+            "steps": self._steps,
+            "true_state": next_state.copy(),
+        }
+        return self._observe(next_state), float(reward), bool(done), info
+
+    # -- helpers ---------------------------------------------------------------
+    def _observe(self, state: np.ndarray) -> np.ndarray:
+        if self.perturbation is None:
+            return state.copy()
+        return np.asarray(self.perturbation(state.copy(), self._rng), dtype=np.float64)
+
+    @property
+    def state_dim(self) -> int:
+        return self.system.state_dim
+
+    @property
+    def action_dim(self) -> int:
+        return self.action_space.dimension

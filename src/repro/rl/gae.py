@@ -1,0 +1,58 @@
+"""Return and advantage estimation for the on-policy (PPO) updates."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def discounted_returns(rewards: np.ndarray, dones: np.ndarray, gamma: float, last_value: float = 0.0) -> np.ndarray:
+    """Discounted reward-to-go with bootstrapping at a truncated final step."""
+
+    rewards = np.asarray(rewards, dtype=np.float64)
+    dones = np.asarray(dones, dtype=bool)
+    returns = np.zeros_like(rewards)
+    running = float(last_value)
+    for index in reversed(range(len(rewards))):
+        if dones[index]:
+            running = 0.0
+        running = rewards[index] + gamma * running
+        returns[index] = running
+    return returns
+
+
+def compute_gae(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    dones: np.ndarray,
+    gamma: float,
+    lam: float,
+    last_value: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generalised Advantage Estimation (Schulman et al. 2016).
+
+    Returns ``(advantages, returns)`` where ``returns = advantages + values``
+    serve as the value-function regression targets.  ``dones`` marks true
+    episode terminations (safety violation or horizon), at which the
+    bootstrap value is zeroed.
+    """
+
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    dones = np.asarray(dones, dtype=bool)
+    if not (len(rewards) == len(values) == len(dones)):
+        raise ValueError("rewards, values and dones must have equal length")
+    advantages = np.zeros_like(rewards)
+    gae = 0.0
+    for index in reversed(range(len(rewards))):
+        if index == len(rewards) - 1:
+            next_value = 0.0 if dones[index] else float(last_value)
+        else:
+            next_value = 0.0 if dones[index] else values[index + 1]
+        non_terminal = 0.0 if dones[index] else 1.0
+        delta = rewards[index] + gamma * next_value - values[index]
+        gae = delta + gamma * lam * non_terminal * gae
+        advantages[index] = gae
+    returns = advantages + values
+    return advantages, returns

@@ -1,0 +1,216 @@
+"""Policy and value networks used by PPO and DDPG.
+
+All networks are thin wrappers around :class:`repro.nn.MLP`:
+
+* :class:`GaussianMLPPolicy` -- diagonal-Gaussian stochastic policy for PPO
+  over continuous actions (the mixing weights of Section III-A).
+* :class:`CategoricalMLPPolicy` -- softmax policy for PPO over a finite set
+  of actions (the switching baseline A_S of [4]).
+* :class:`DeterministicMLPPolicy` -- tanh-squashed deterministic actor used
+  by DDPG (the expert controllers).
+* :class:`ValueNetwork` / :class:`QNetwork` -- state-value and state-action
+  critics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor, functional
+from repro.nn.layers import Module
+from repro.nn.network import MLP
+from repro.utils.seeding import RngLike, get_rng
+
+
+class GaussianMLPPolicy(Module):
+    """Diagonal Gaussian policy: mean from an MLP, state-independent log std."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        action_low: Sequence[float],
+        action_high: Sequence[float],
+        hidden_sizes: Sequence[int] = (64, 64),
+        activation: str = "tanh",
+        init_log_std: float = -0.5,
+        seed: Optional[int] = None,
+    ):
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.action_low = np.asarray(action_low, dtype=np.float64)
+        self.action_high = np.asarray(action_high, dtype=np.float64)
+        if self.action_low.shape != (action_dim,) or self.action_high.shape != (action_dim,):
+            raise ValueError("action bounds must have shape (action_dim,)")
+        self.mean_net = MLP(state_dim, action_dim, hidden_sizes, activation=activation, seed=seed)
+        self.log_std = Tensor(np.full(action_dim, float(init_log_std)), requires_grad=True)
+
+    # -- graph-building calls (training) ---------------------------------------
+    def forward(self, states: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return ``(mean, log_std)`` with gradients attached."""
+
+        mean = self.mean_net(states)
+        return mean, self.log_std
+
+    def log_prob(self, states: Tensor, actions: np.ndarray) -> Tensor:
+        mean, log_std = self.forward(states)
+        return functional.gaussian_log_prob(actions, mean, log_std)
+
+    def entropy(self) -> Tensor:
+        return functional.gaussian_entropy(self.log_std, self.action_dim)
+
+    # -- array-only calls (rollouts) ---------------------------------------------
+    def act(self, state: np.ndarray, rng: RngLike = None, deterministic: bool = False) -> Tuple[np.ndarray, float]:
+        """Sample a clipped action and return it with its log probability."""
+
+        generator = get_rng(rng)
+        mean = self.mean_net.predict(np.asarray(state, dtype=np.float64))
+        std = np.exp(self.log_std.data)
+        if deterministic:
+            action = mean
+        else:
+            action = mean + std * generator.normal(size=self.action_dim)
+        log_prob = float(
+            np.sum(-0.5 * ((action - mean) / std) ** 2 - np.log(std) - 0.5 * np.log(2.0 * np.pi))
+        )
+        return np.clip(action, self.action_low, self.action_high), log_prob
+
+    def mean_action(self, state: np.ndarray) -> np.ndarray:
+        mean = self.mean_net.predict(np.asarray(state, dtype=np.float64))
+        return np.clip(mean, self.action_low, self.action_high)
+
+
+class CategoricalMLPPolicy(Module):
+    """Softmax policy over ``num_actions`` discrete choices (switching baseline)."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        num_actions: int,
+        hidden_sizes: Sequence[int] = (64, 64),
+        activation: str = "tanh",
+        seed: Optional[int] = None,
+    ):
+        if num_actions < 2:
+            raise ValueError("a categorical policy needs at least two actions")
+        self.state_dim = state_dim
+        self.num_actions = num_actions
+        self.logits_net = MLP(state_dim, num_actions, hidden_sizes, activation=activation, seed=seed)
+
+    def forward(self, states: Tensor) -> Tensor:
+        return self.logits_net(states)
+
+    def log_prob(self, states: Tensor, actions: np.ndarray) -> Tensor:
+        """Log probability of integer actions under the softmax distribution."""
+
+        logits = self.forward(states)
+        # log softmax = logits - logsumexp(logits)
+        max_logits = Tensor(np.max(logits.data, axis=-1, keepdims=True))
+        shifted = logits - max_logits
+        log_norm = shifted.exp().sum(axis=-1, keepdims=True).log() + max_logits
+        log_probs = logits - log_norm
+        actions = np.asarray(actions, dtype=int).reshape(-1)
+        rows = np.arange(len(actions))
+        return log_probs[rows, actions]
+
+    def act(self, state: np.ndarray, rng: RngLike = None, deterministic: bool = False) -> Tuple[int, float]:
+        generator = get_rng(rng)
+        logits = self.logits_net.predict(np.asarray(state, dtype=np.float64))
+        logits = logits - np.max(logits)
+        probabilities = np.exp(logits)
+        probabilities /= probabilities.sum()
+        if deterministic:
+            action = int(np.argmax(probabilities))
+        else:
+            action = int(generator.choice(self.num_actions, p=probabilities))
+        return action, float(np.log(probabilities[action] + 1e-12))
+
+    def probabilities(self, state: np.ndarray) -> np.ndarray:
+        logits = self.logits_net.predict(np.asarray(state, dtype=np.float64))
+        logits = logits - np.max(logits)
+        exp = np.exp(logits)
+        return exp / exp.sum()
+
+
+class DeterministicMLPPolicy(Module):
+    """Tanh-squashed deterministic actor ``a = low + (tanh(f(s)) + 1)/2 * (high - low)``."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        action_low: Sequence[float],
+        action_high: Sequence[float],
+        hidden_sizes: Sequence[int] = (64, 64),
+        activation: str = "relu",
+        seed: Optional[int] = None,
+    ):
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.action_low = np.asarray(action_low, dtype=np.float64)
+        self.action_high = np.asarray(action_high, dtype=np.float64)
+        self.net = MLP(
+            state_dim,
+            action_dim,
+            hidden_sizes,
+            activation=activation,
+            output_activation="tanh",
+            seed=seed,
+        )
+        self._scale = (self.action_high - self.action_low) / 2.0
+        self._offset = (self.action_high + self.action_low) / 2.0
+
+    def forward(self, states: Tensor) -> Tensor:
+        squashed = self.net(states)
+        return squashed * Tensor(self._scale) + Tensor(self._offset)
+
+    def act(self, state: np.ndarray, noise_scale: float = 0.0, rng: RngLike = None) -> np.ndarray:
+        action = self.net.predict(np.asarray(state, dtype=np.float64)) * self._scale + self._offset
+        if noise_scale > 0.0:
+            action = action + noise_scale * self._scale * get_rng(rng).normal(size=self.action_dim)
+        return np.clip(action, self.action_low, self.action_high)
+
+
+class ValueNetwork(Module):
+    """State-value function V(s) for PPO."""
+
+    def __init__(self, state_dim: int, hidden_sizes: Sequence[int] = (64, 64), activation: str = "tanh", seed: Optional[int] = None):
+        self.net = MLP(state_dim, 1, hidden_sizes, activation=activation, seed=seed)
+
+    def forward(self, states: Tensor) -> Tensor:
+        return self.net(states)
+
+    def value(self, state: np.ndarray) -> float:
+        return float(np.atleast_1d(self.net.predict(np.asarray(state, dtype=np.float64)))[0])
+
+    def values(self, states: np.ndarray) -> np.ndarray:
+        return self.net.predict(np.atleast_2d(np.asarray(states, dtype=np.float64)))[:, 0]
+
+
+class QNetwork(Module):
+    """State-action value function Q(s, a) for DDPG."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        hidden_sizes: Sequence[int] = (64, 64),
+        activation: str = "relu",
+        seed: Optional[int] = None,
+    ):
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.net = MLP(state_dim + action_dim, 1, hidden_sizes, activation=activation, seed=seed)
+
+    def forward(self, states: Tensor, actions: Tensor) -> Tensor:
+        joined = Tensor.concatenate([Tensor.ensure(states), Tensor.ensure(actions)], axis=-1)
+        return self.net(joined)
+
+    def q_values(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        joined = np.concatenate(
+            [np.atleast_2d(np.asarray(states, dtype=np.float64)), np.atleast_2d(np.asarray(actions, dtype=np.float64))],
+            axis=-1,
+        )
+        return self.net.predict(joined)[:, 0]

@@ -1,0 +1,246 @@
+"""Proximal Policy Optimization.
+
+Implements the update of Algorithm 1 line 10: maximise the importance-ratio
+surrogate with either the adaptive KL penalty (the form written in the paper)
+or the clipped objective (the more common PPO variant, also supported so that
+the ablation benchmarks can compare the two).  Works with both the Gaussian
+policy (adaptive mixing, continuous weights) and the categorical policy (the
+switching baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autodiff import Tensor, functional
+from repro.nn.optim import Adam
+from repro.rl.buffers import RolloutBuffer
+from repro.rl.env import ControlEnv
+from repro.rl.gae import compute_gae
+from repro.rl.policies import CategoricalMLPPolicy, GaussianMLPPolicy, ValueNetwork
+from repro.utils.logging import TrainingLogger
+from repro.utils.seeding import RngLike, get_rng
+
+
+@dataclass
+class PPOConfig:
+    """Hyper-parameters of the PPO trainer."""
+
+    epochs: int = 50
+    steps_per_epoch: int = 2048
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_ratio: float = 0.2
+    kl_coefficient: float = 1.0
+    target_kl: float = 0.02
+    objective: str = "clip"  # "clip" or "kl" (the paper's Algorithm 1 form)
+    policy_lr: float = 3e-4
+    value_lr: float = 1e-3
+    update_iterations: int = 10
+    minibatch_size: int = 256
+    entropy_coefficient: float = 0.0
+    max_grad_norm: float = 5.0
+    hidden_sizes: tuple = (64, 64)
+    seed: Optional[int] = None
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("clip", "kl"):
+            raise ValueError("objective must be 'clip' or 'kl'")
+        if self.epochs <= 0 or self.steps_per_epoch <= 0:
+            raise ValueError("epochs and steps_per_epoch must be positive")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+
+
+PolicyType = Union[GaussianMLPPolicy, CategoricalMLPPolicy]
+
+
+class PPOTrainer:
+    """On-policy trainer coupling a policy, a value network and an environment."""
+
+    def __init__(
+        self,
+        env: ControlEnv,
+        policy: Optional[PolicyType] = None,
+        value_network: Optional[ValueNetwork] = None,
+        config: Optional[PPOConfig] = None,
+        rng: RngLike = None,
+    ):
+        self.env = env
+        self.config = config if config is not None else PPOConfig()
+        self._rng = get_rng(rng if rng is not None else self.config.seed)
+        if policy is None:
+            policy = GaussianMLPPolicy(
+                env.state_dim,
+                env.action_dim,
+                env.action_space.low,
+                env.action_space.high,
+                hidden_sizes=self.config.hidden_sizes,
+                seed=self.config.seed,
+            )
+        self.policy = policy
+        self.value_network = value_network if value_network is not None else ValueNetwork(
+            env.state_dim, hidden_sizes=self.config.hidden_sizes, seed=self.config.seed
+        )
+        self.policy_optimizer = Adam(self.policy.parameters(), lr=self.config.policy_lr)
+        self.value_optimizer = Adam(self.value_network.parameters(), lr=self.config.value_lr)
+        self.logger = TrainingLogger("ppo", verbose=self.config.verbose)
+        self._kl_coefficient = self.config.kl_coefficient
+
+    # ------------------------------------------------------------------
+    # Data collection
+    # ------------------------------------------------------------------
+    def collect_rollouts(self, steps: int) -> RolloutBuffer:
+        """Run the current policy in the environment for ``steps`` transitions."""
+
+        buffer = RolloutBuffer()
+        observation = self.env.reset()
+        episode_returns = []
+        episode_return = 0.0
+        discrete = isinstance(self.policy, CategoricalMLPPolicy)
+
+        for _ in range(steps):
+            action, log_prob = self.policy.act(observation, rng=self._rng)
+            value = self.value_network.value(observation)
+            stored_action = np.array([action]) if discrete else action
+            next_observation, reward, done, _info = self.env.step(action)
+            buffer.add(observation, stored_action, reward, done, value, log_prob)
+            episode_return += reward
+            observation = next_observation
+            if done:
+                episode_returns.append(episode_return)
+                episode_return = 0.0
+                observation = self.env.reset()
+        buffer.last_value = self.value_network.value(observation)
+        if episode_returns:
+            self._last_mean_return = float(np.mean(episode_returns))
+        else:
+            self._last_mean_return = episode_return
+        return buffer
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def _policy_loss(self, batch: dict) -> Tensor:
+        states = Tensor(batch["states"])
+        advantages = Tensor(batch["advantages"])
+        old_log_probs = batch["log_probs"]
+        if isinstance(self.policy, CategoricalMLPPolicy):
+            actions = batch["actions"].astype(int).reshape(-1)
+            new_log_probs = self.policy.log_prob(states, actions)
+        else:
+            new_log_probs = self.policy.log_prob(states, batch["actions"])
+        ratio = (new_log_probs - Tensor(old_log_probs)).exp()
+
+        if self.config.objective == "clip":
+            clipped = ratio.clip(1.0 - self.config.clip_ratio, 1.0 + self.config.clip_ratio)
+            surrogate_a = ratio * advantages
+            surrogate_b = clipped * advantages
+            # elementwise min(a, b) = b + (a - b) clipped to (-inf, 0]
+            difference = surrogate_a - surrogate_b
+            minimum = surrogate_b + difference.clip(-1e9, 0.0)
+            loss = -minimum.mean()
+        else:
+            surrogate = (ratio * advantages).mean()
+            # KL[pi_old || pi_theta] penalty of Algorithm 1 line 10, estimated
+            # from the sampled actions via the squared log-ratio, which agrees
+            # with KL to second order around the old policy and is
+            # differentiable with respect to the new parameters.
+            kl = ((new_log_probs - Tensor(old_log_probs)) ** 2).mean() * 0.5
+            loss = -(surrogate - self._kl_coefficient * kl)
+
+        if self.config.entropy_coefficient and isinstance(self.policy, GaussianMLPPolicy):
+            loss = loss - self.config.entropy_coefficient * self.policy.entropy()
+        return loss
+
+    def _value_loss(self, batch: dict) -> Tensor:
+        states = Tensor(batch["states"])
+        predictions = self.value_network(states)
+        targets = batch["returns"].reshape(-1, 1)
+        return functional.mse_loss(predictions, targets)
+
+    def update(self, buffer: RolloutBuffer) -> dict:
+        """Run the PPO policy and value updates on one rollout buffer."""
+
+        data = buffer.arrays()
+        advantages, returns = compute_gae(
+            data["rewards"],
+            data["values"],
+            data["dones"],
+            gamma=self.config.gamma,
+            lam=self.config.gae_lambda,
+            last_value=buffer.last_value,
+        )
+        buffer.set_advantages(advantages, returns)
+
+        policy_losses = []
+        value_losses = []
+        approx_kls = []
+        for _ in range(self.config.update_iterations):
+            stop = False
+            for batch in buffer.minibatches(self.config.minibatch_size, rng=self._rng):
+                self.policy_optimizer.zero_grad()
+                policy_loss = self._policy_loss(batch)
+                policy_loss.backward()
+                self.policy_optimizer.clip_grad_norm(self.config.max_grad_norm)
+                self.policy_optimizer.step()
+                policy_losses.append(float(policy_loss.data))
+
+                self.value_optimizer.zero_grad()
+                value_loss = self._value_loss(batch)
+                value_loss.backward()
+                self.value_optimizer.clip_grad_norm(self.config.max_grad_norm)
+                self.value_optimizer.step()
+                value_losses.append(float(value_loss.data))
+
+                approx_kl = self._approximate_kl(batch)
+                approx_kls.append(approx_kl)
+                if approx_kl > 1.5 * self.config.target_kl:
+                    stop = True
+                    break
+            if stop:
+                break
+
+        mean_kl = float(np.mean(approx_kls)) if approx_kls else 0.0
+        # Adaptive KL coefficient (used by the "kl" objective).
+        if mean_kl > 1.5 * self.config.target_kl:
+            self._kl_coefficient *= 2.0
+        elif mean_kl < self.config.target_kl / 1.5:
+            self._kl_coefficient *= 0.5
+        self._kl_coefficient = float(np.clip(self._kl_coefficient, 1e-3, 1e3))
+
+        return {
+            "policy_loss": float(np.mean(policy_losses)) if policy_losses else 0.0,
+            "value_loss": float(np.mean(value_losses)) if value_losses else 0.0,
+            "approx_kl": mean_kl,
+            "kl_coefficient": self._kl_coefficient,
+        }
+
+    def _approximate_kl(self, batch: dict) -> float:
+        from repro.autodiff import no_grad
+
+        with no_grad():
+            states = Tensor(batch["states"])
+            if isinstance(self.policy, CategoricalMLPPolicy):
+                actions = batch["actions"].astype(int).reshape(-1)
+                new_log_probs = self.policy.log_prob(states, actions).data
+            else:
+                new_log_probs = self.policy.log_prob(states, batch["actions"]).data
+        return float(np.mean(batch["log_probs"] - new_log_probs))
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def train(self, epochs: Optional[int] = None) -> TrainingLogger:
+        """Full training loop: collect, update, log; returns the logger."""
+
+        epochs = epochs if epochs is not None else self.config.epochs
+        for _ in range(epochs):
+            buffer = self.collect_rollouts(self.config.steps_per_epoch)
+            stats = self.update(buffer)
+            self.logger.log(mean_return=self._last_mean_return, **stats)
+        return self.logger

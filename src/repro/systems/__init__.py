@@ -1,0 +1,56 @@
+"""Control-system substrate: plants, safe regions, and trajectory simulation.
+
+This package replaces the OpenAI-gym environments used by the paper with
+direct implementations of the three discrete-time nonlinear systems defined
+in Section IV: the Van der Pol oscillator, the 3-D polynomial system from
+Sassi et al. (example 15), and the cartpole.
+"""
+
+from repro.systems.sets import Box
+from repro.systems.disturbance import NoDisturbance, UniformDisturbance
+from repro.systems.base import ControlSystem
+from repro.systems.vanderpol import VanDerPolOscillator
+from repro.systems.linear3d import ThreeDimensionalSystem
+from repro.systems.cartpole import CartPole
+from repro.systems.simulation import (
+    Trajectory,
+    control_energy,
+    rollout,
+    safe_control_rate,
+    sample_initial_states,
+)
+
+__all__ = [
+    "Box",
+    "ControlSystem",
+    "NoDisturbance",
+    "UniformDisturbance",
+    "VanDerPolOscillator",
+    "ThreeDimensionalSystem",
+    "CartPole",
+    "Trajectory",
+    "rollout",
+    "safe_control_rate",
+    "control_energy",
+    "sample_initial_states",
+    "make_system",
+    "SYSTEM_REGISTRY",
+]
+
+
+SYSTEM_REGISTRY = {
+    "vanderpol": VanDerPolOscillator,
+    "oscillator": VanDerPolOscillator,
+    "3d": ThreeDimensionalSystem,
+    "three_dimensional": ThreeDimensionalSystem,
+    "cartpole": CartPole,
+}
+
+
+def make_system(name: str, **kwargs) -> ControlSystem:
+    """Instantiate one of the paper's three test systems by name."""
+
+    key = name.lower()
+    if key not in SYSTEM_REGISTRY:
+        raise ValueError(f"unknown system {name!r}; choose from {sorted(set(SYSTEM_REGISTRY))}")
+    return SYSTEM_REGISTRY[key](**kwargs)

@@ -1,0 +1,55 @@
+"""The three-dimensional polynomial system (Section IV, system 2).
+
+Continuous-time dynamics (example 15 of Sassi et al. 2017)::
+
+    x_dot = y + 0.5 * z^2
+    y_dot = z
+    z_dot = u
+
+discretised with forward Euler at ``tau = 0.05``; ``X = X0 = [-0.5, 0.5]^3``,
+``u in [-10, 10]``, ``T = 100``.  The paper applies no external disturbance
+to this system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.base import ControlSystem
+from repro.systems.disturbance import NoDisturbance
+from repro.systems.sets import Box
+
+
+class ThreeDimensionalSystem(ControlSystem):
+    """Euler-discretised 3-D polynomial system ``(x, y, z)`` with scalar input."""
+
+    name = "3d"
+
+    def __init__(
+        self,
+        dt: float = 0.05,
+        horizon: int = 100,
+        control_limit: float = 10.0,
+        state_limit: float = 0.5,
+    ):
+        super().__init__(
+            state_dim=3,
+            control_dim=1,
+            safe_region=Box.symmetric(state_limit, dimension=3),
+            initial_set=Box.symmetric(state_limit, dimension=3),
+            control_bound=Box.symmetric(control_limit, dimension=1),
+            horizon=horizon,
+            disturbance=NoDisturbance(3),
+            dt=dt,
+        )
+
+    def dynamics(self, state: np.ndarray, control: np.ndarray, disturbance: np.ndarray) -> np.ndarray:
+        x, y, z = state
+        u = control[0]
+        x_dot = y + 0.5 * z**2
+        y_dot = z
+        z_dot = u
+        next_state = np.array([x + self.dt * x_dot, y + self.dt * y_dot, z + self.dt * z_dot])
+        if disturbance.size == self.state_dim:
+            next_state = next_state + disturbance
+        return next_state

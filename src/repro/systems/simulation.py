@@ -1,0 +1,221 @@
+"""Closed-loop trajectory simulation and the paper's Monte-Carlo metrics.
+
+The robustness (safe control rate) and energy metrics of Section II are
+estimated exactly the way the paper does it: sample initial states from
+``X0``, roll the closed loop forward for ``T`` steps, check whether every
+visited state stays inside ``X`` and accumulate the 1-norm of the applied
+control.  State perturbations (attacks or measurement noise) are injected by
+an optional callable so the same rollout code serves the clean, noisy and
+attacked evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.systems.base import ControlSystem
+from repro.utils.seeding import RngLike, get_rng
+
+#: A controller maps the observed state to a (possibly unclipped) control.
+ControllerFn = Callable[[np.ndarray], np.ndarray]
+
+#: A perturbation maps the true state to the observed (perturbed) state.
+PerturbationFn = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+@dataclass
+class Trajectory:
+    """One closed-loop rollout: states, applied controls and safety flags."""
+
+    states: np.ndarray
+    controls: np.ndarray
+    safe: bool
+    steps: int
+    energy: float
+    violation_step: Optional[int] = None
+    observed_states: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return self.steps
+
+
+def rollout(
+    system: ControlSystem,
+    controller: ControllerFn,
+    initial_state: Sequence[float],
+    horizon: Optional[int] = None,
+    perturbation: Optional[PerturbationFn] = None,
+    rng: RngLike = None,
+    stop_on_violation: bool = True,
+) -> Trajectory:
+    """Simulate the closed loop from ``initial_state`` for ``horizon`` steps.
+
+    Parameters
+    ----------
+    system:
+        The plant to control.
+    controller:
+        Callable mapping the *observed* state to a control command; the plant
+        clips the command to its control bound before applying it.
+    initial_state:
+        Starting state, normally sampled from ``system.initial_set``.
+    horizon:
+        Number of control steps; defaults to ``system.horizon`` (the paper's
+        ``T``).
+    perturbation:
+        Optional attack/noise model applied to the state *before* it is shown
+        to the controller (the plant itself always evolves from the true
+        state), matching the paper's threat model where only the measurement
+        is perturbed.
+    stop_on_violation:
+        When ``True`` (the default and what the metrics use) the rollout stops
+        at the first unsafe state.
+    """
+
+    generator = get_rng(rng)
+    horizon = int(horizon) if horizon is not None else system.horizon
+    state = np.asarray(initial_state, dtype=np.float64).copy()
+
+    states = [state.copy()]
+    observed = [state.copy()]
+    controls: List[np.ndarray] = []
+    safe = system.is_safe(state)
+    violation_step: Optional[int] = None if safe else 0
+    energy = 0.0
+
+    if safe or not stop_on_violation:
+        for step in range(horizon):
+            observation = state
+            if perturbation is not None:
+                observation = np.asarray(perturbation(state.copy(), generator), dtype=np.float64)
+            observed.append(observation.copy())
+            command = np.atleast_1d(np.asarray(controller(observation), dtype=np.float64))
+            applied = system.clip_control(command)
+            controls.append(applied.copy())
+            energy += float(np.sum(np.abs(applied)))
+            state = system.step(state, applied, rng=generator)
+            states.append(state.copy())
+            if not system.is_safe(state):
+                safe = False
+                if violation_step is None:
+                    violation_step = step + 1
+                if stop_on_violation:
+                    break
+
+    return Trajectory(
+        states=np.asarray(states),
+        controls=np.asarray(controls) if controls else np.zeros((0, system.control_dim)),
+        safe=safe,
+        steps=len(controls),
+        energy=energy,
+        violation_step=violation_step,
+        observed_states=np.asarray(observed),
+    )
+
+
+def sample_initial_states(system: ControlSystem, count: int, rng: RngLike = None) -> np.ndarray:
+    """Draw ``count`` initial states uniformly from ``X0``."""
+
+    if count <= 0:
+        raise ValueError("count must be positive")
+    return system.initial_set.sample(get_rng(rng), count=count)
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregate of many rollouts: the paper's Sr and e metrics."""
+
+    safe_rate: float
+    mean_energy: float
+    num_trajectories: int
+    num_safe: int
+    energies: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "safe_rate": self.safe_rate,
+            "mean_energy": self.mean_energy,
+            "num_trajectories": self.num_trajectories,
+            "num_safe": self.num_safe,
+        }
+
+
+def evaluate_rollouts(
+    system: ControlSystem,
+    controller: ControllerFn,
+    initial_states: np.ndarray,
+    perturbation: Optional[PerturbationFn] = None,
+    horizon: Optional[int] = None,
+    rng: RngLike = None,
+) -> EvaluationResult:
+    """Roll out from every row of ``initial_states`` and aggregate Sr and e.
+
+    Following Property 2 of the paper, the energy average is taken over the
+    *safe* trajectories only (the safe initial state set ``X'``); if no
+    trajectory is safe the mean energy is reported as ``inf``.
+    """
+
+    generator = get_rng(rng)
+    initial_states = np.atleast_2d(np.asarray(initial_states, dtype=np.float64))
+    num_safe = 0
+    safe_energies: List[float] = []
+    for initial_state in initial_states:
+        trajectory = rollout(
+            system,
+            controller,
+            initial_state,
+            horizon=horizon,
+            perturbation=perturbation,
+            rng=generator,
+        )
+        if trajectory.safe:
+            num_safe += 1
+            safe_energies.append(trajectory.energy)
+    total = len(initial_states)
+    mean_energy = float(np.mean(safe_energies)) if safe_energies else float("inf")
+    return EvaluationResult(
+        safe_rate=num_safe / total,
+        mean_energy=mean_energy,
+        num_trajectories=total,
+        num_safe=num_safe,
+        energies=safe_energies,
+    )
+
+
+def safe_control_rate(
+    system: ControlSystem,
+    controller: ControllerFn,
+    samples: int = 500,
+    perturbation: Optional[PerturbationFn] = None,
+    horizon: Optional[int] = None,
+    rng: RngLike = None,
+) -> float:
+    """Monte-Carlo estimate of the safe control rate Sr (Property 1)."""
+
+    generator = get_rng(rng)
+    initial_states = sample_initial_states(system, samples, rng=generator)
+    result = evaluate_rollouts(
+        system, controller, initial_states, perturbation=perturbation, horizon=horizon, rng=generator
+    )
+    return result.safe_rate
+
+
+def control_energy(
+    system: ControlSystem,
+    controller: ControllerFn,
+    samples: int = 500,
+    perturbation: Optional[PerturbationFn] = None,
+    horizon: Optional[int] = None,
+    rng: RngLike = None,
+) -> float:
+    """Monte-Carlo estimate of the control energy e (Property 2)."""
+
+    generator = get_rng(rng)
+    initial_states = sample_initial_states(system, samples, rng=generator)
+    result = evaluate_rollouts(
+        system, controller, initial_states, perturbation=perturbation, horizon=horizon, rng=generator
+    )
+    return result.mean_energy

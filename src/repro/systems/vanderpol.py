@@ -1,0 +1,53 @@
+"""The Van der Pol oscillator test system (Section IV, system 1).
+
+Discrete-time dynamics with sampling period ``tau = 0.05``::
+
+    s1(t+1) = s1(t) + tau * s2(t)
+    s2(t+1) = s2(t) + tau * [(1 - s1(t)^2) * s2(t) - s1(t) + u(t)] + omega(t)
+
+with ``X = X0 = [-2, 2]^2``, ``u in [-20, 20]``, ``omega ~ U[-0.05, 0.05]``
+and an episode length of ``T = 100`` steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.base import ControlSystem
+from repro.systems.disturbance import UniformDisturbance
+from repro.systems.sets import Box
+
+
+class VanDerPolOscillator(ControlSystem):
+    """Van der Pol oscillator with control on the second state derivative."""
+
+    name = "vanderpol"
+
+    def __init__(
+        self,
+        dt: float = 0.05,
+        horizon: int = 100,
+        control_limit: float = 20.0,
+        state_limit: float = 2.0,
+        disturbance_bound: float = 0.05,
+        mu: float = 1.0,
+    ):
+        self.mu = float(mu)
+        super().__init__(
+            state_dim=2,
+            control_dim=1,
+            safe_region=Box.symmetric(state_limit, dimension=2),
+            initial_set=Box.symmetric(state_limit, dimension=2),
+            control_bound=Box.symmetric(control_limit, dimension=1),
+            horizon=horizon,
+            disturbance=UniformDisturbance(disturbance_bound),
+            dt=dt,
+        )
+
+    def dynamics(self, state: np.ndarray, control: np.ndarray, disturbance: np.ndarray) -> np.ndarray:
+        s1, s2 = state
+        u = control[0]
+        omega = disturbance[0] if disturbance.size else 0.0
+        next_s1 = s1 + self.dt * s2
+        next_s2 = s2 + self.dt * ((1.0 - s1**2) * self.mu * s2 - s1 + u) + omega
+        return np.array([next_s1, next_s2])

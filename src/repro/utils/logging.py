@@ -1,0 +1,42 @@
+"""A tiny training logger.
+
+Training loops (PPO, DDPG, distillation) record scalar metrics per epoch;
+the logger keeps them in memory for inspection by tests and optionally echoes
+progress lines, which the examples enable and the tests keep silent.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+
+class TrainingLogger:
+    """Collects scalar training metrics keyed by name."""
+
+    def __init__(self, name: str = "training", verbose: bool = False, print_every: int = 10):
+        self.name = name
+        self.verbose = verbose
+        self.print_every = max(1, int(print_every))
+        self.history: Dict[str, List[float]] = defaultdict(list)
+        self._epoch = 0
+
+    def log(self, **metrics: float) -> None:
+        """Record one epoch worth of scalar metrics."""
+
+        self._epoch += 1
+        for key, value in metrics.items():
+            self.history[key].append(float(value))
+        if self.verbose and self._epoch % self.print_every == 0:
+            rendered = ", ".join(f"{key}={float(value):.4g}" for key, value in metrics.items())
+            print(f"[{self.name}] epoch {self._epoch}: {rendered}")
+
+    def last(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        values = self.history.get(key)
+        return values[-1] if values else default
+
+    def series(self, key: str) -> List[float]:
+        return list(self.history.get(key, []))
+
+    def epochs(self) -> int:
+        return self._epoch

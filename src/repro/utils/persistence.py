@@ -1,0 +1,87 @@
+"""Persistence of trained Cocktail artefacts and experiment records.
+
+Two kinds of artefacts are saved:
+
+* **controllers** -- the distilled student networks are written as ``.npz``
+  archives (weights + architecture) via :mod:`repro.nn.serialization`, so a
+  deployment target can reload κ* without the training stack;
+* **experiment records** -- plain JSON dictionaries of metrics (safe rates,
+  energies, Lipschitz constants, verification times) with enough metadata
+  (system, scale, seed, timestamp is the caller's business) to regenerate a
+  table row later.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.experts.base import NeuralController
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+PathLike = Union[str, Path]
+
+
+def save_experiment_record(record: Dict, path: PathLike) -> Path:
+    """Write a JSON experiment record (creating parent directories)."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True, default=_jsonify)
+    return path
+
+
+def load_experiment_record(path: PathLike) -> Dict:
+    with Path(path).open() as handle:
+        return json.load(handle)
+
+
+def save_cocktail_result(result, directory: PathLike, record: Optional[Dict] = None) -> Path:
+    """Persist the distilled controllers of a :class:`CocktailResult`.
+
+    Writes ``kappa_star.npz`` (always), ``kappa_d.npz`` (when the direct
+    baseline was trained) and ``record.json`` with the experiment record plus
+    basic bookkeeping (expert names, dataset size).
+    """
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_state_dict(result.student.network, directory / "kappa_star.npz")
+    saved = {"kappa_star": "kappa_star.npz"}
+    if result.direct_student is not None:
+        save_state_dict(result.direct_student.network, directory / "kappa_d.npz")
+        saved["kappaD"] = "kappa_d.npz"
+    payload = {
+        "controllers": saved,
+        "experts": [expert.name for expert in result.experts],
+        "dataset_size": len(result.dataset),
+    }
+    if record:
+        payload["record"] = record
+    save_experiment_record(payload, directory / "record.json")
+    return directory
+
+
+def load_student_controller(directory: PathLike, name: str = "kappa_star") -> NeuralController:
+    """Reload a saved student network as a :class:`NeuralController`."""
+
+    directory = Path(directory)
+    with (directory / "record.json").open() as handle:
+        payload = json.load(handle)
+    controllers = payload.get("controllers", {})
+    if name not in controllers:
+        raise KeyError(f"controller {name!r} not present in {directory}; available: {sorted(controllers)}")
+    network = load_state_dict(directory / controllers[name])
+    return NeuralController(network, name=name)
+
+
+def _jsonify(value):
+    """Fallback serialiser for NumPy scalars/arrays inside records."""
+
+    if hasattr(value, "item") and getattr(value, "size", None) == 1:
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    raise TypeError(f"cannot serialise {type(value)!r} to JSON")

@@ -1,0 +1,86 @@
+"""Text-based plotting helpers.
+
+The offline environment has no matplotlib, so the examples and benchmark
+harnesses render their "figures" as plain text: a sparkline-style series
+plot for the Fig. 2 control signals, an ASCII heatmap for the Fig. 3
+invariant-set mask, and an interval table for the Fig. 4 reachable boxes.
+All functions return strings so callers decide whether to print or save.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 80,
+    title: Optional[str] = None,
+    symmetric: bool = True,
+) -> str:
+    """Render a 1-D series as a single-line sparkline plus range annotation.
+
+    ``symmetric=True`` centres the glyph scale on zero, which suits
+    normalised control signals in ``[-1, 1]``.
+    """
+
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return (title + ": " if title else "") + "(empty series)"
+    if values.size > width:
+        # Downsample by averaging consecutive chunks so the line fits.
+        chunks = np.array_split(values, width)
+        values = np.array([chunk.mean() for chunk in chunks])
+    limit = float(np.max(np.abs(values))) if symmetric else float(np.max(values) - np.min(values))
+    limit = limit if limit > 0 else 1.0
+    if symmetric:
+        normalised = (values / limit + 1.0) / 2.0
+    else:
+        normalised = (values - np.min(values)) / limit
+    indices = np.clip((normalised * (len(_SPARK_LEVELS) - 1)).round().astype(int), 0, len(_SPARK_LEVELS) - 1)
+    line = "".join(_SPARK_LEVELS[index] for index in indices)
+    header = f"{title} " if title else ""
+    return f"{header}[min {np.min(values):+.3f}, max {np.max(values):+.3f}]\n{line}"
+
+
+def ascii_heatmap(
+    mask: np.ndarray,
+    resolution: int,
+    title: Optional[str] = None,
+    filled: str = "#",
+    empty: str = ".",
+) -> str:
+    """Render a boolean grid mask (e.g. the invariant-set cells) as ASCII art.
+
+    The mask follows the cell ordering of :meth:`repro.systems.Box.subdivide`
+    (row-major over the first axis); the plot puts the first axis horizontal
+    and the second axis vertical with its positive direction up, matching the
+    paper's Fig. 3 orientation for 2-D systems.
+    """
+
+    mask = np.asarray(mask, dtype=bool).reshape(resolution, resolution)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(resolution - 1, -1, -1):
+        lines.append("".join(filled if mask[col, row] else empty for col in range(resolution)))
+    return "\n".join(lines)
+
+
+def box_series_table(boxes: Sequence, dimensions: Sequence[int] = (0, 1), title: Optional[str] = None) -> str:
+    """Tabulate a sequence of boxes (a reachable-set tube) step by step."""
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "step | " + " | ".join(f"dim{d} interval" for d in dimensions)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for step, box in enumerate(boxes):
+        cells = [f"[{box.low[d]:+.4f}, {box.high[d]:+.4f}]" for d in dimensions]
+        lines.append(f"{step:4d} | " + " | ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Verification substrate: Bernstein abstraction, reachability, invariant sets.
+
+The paper evaluates *verifiability* as the computation time needed to verify
+safety properties of the distilled controller, using the ReachNN-style
+pipeline of references [21], [22], [23]: the neural controller is
+over-approximated by Bernstein polynomials with a bounded error (refined by
+state-space partitioning), the error is folded into the disturbance, and the
+resulting polynomial closed loop is analysed with reachable-set and
+control-invariant-set computations.
+
+Flow*, the invariant-set tool of Xue & Zhan, and the original ReachNN code
+are not available offline, so this package implements the same chain with
+interval arithmetic: the qualitative dependence the paper exploits -- a
+larger Lipschitz constant forces finer partitions / higher polynomial degree
+and therefore longer verification time -- is preserved (see DESIGN.md).
+"""
+
+from repro.verification.intervals import Interval
+from repro.verification.bernstein import BernsteinApproximation, bernstein_error_bound
+from repro.verification.partition import PartitionedApproximation, partition_network
+from repro.verification.system_models import interval_dynamics
+from repro.verification.reachability import ReachabilityResult, reachable_sets, verify_reach_safety
+from repro.verification.invariant import InvariantSetResult, compute_invariant_set
+from repro.verification.verifier import VerificationReport, verify_controller
+
+__all__ = [
+    "Interval",
+    "BernsteinApproximation",
+    "bernstein_error_bound",
+    "PartitionedApproximation",
+    "partition_network",
+    "interval_dynamics",
+    "ReachabilityResult",
+    "reachable_sets",
+    "verify_reach_safety",
+    "InvariantSetResult",
+    "compute_invariant_set",
+    "VerificationReport",
+    "verify_controller",
+]

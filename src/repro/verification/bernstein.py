@@ -1,0 +1,160 @@
+"""Bernstein-polynomial over-approximation of a neural controller.
+
+Following ReachNN (reference [21]), the controller ``kappa*: R^d -> R^m`` is
+approximated over a box ``X_p`` by a multivariate Bernstein polynomial
+
+.. math::  B_{d}(x) = \\sum_{k} f(x_k) \\prod_i \\binom{d_i}{k_i} t_i^{k_i} (1-t_i)^{d_i-k_i}
+
+where ``t`` is ``x`` rescaled to the unit box and the coefficients are the
+network evaluated on the uniform grid ``x_k``.  Two classical properties make
+this useful for verification:
+
+* **error bound** -- for an ``L``-Lipschitz function the approximation error
+  is bounded by ``L/2 * sqrt(sum_i w_i^2 / d_i)`` (``w_i`` the box widths),
+  so a larger Lipschitz constant forces higher degrees or finer partitions:
+  exactly the mechanism behind the paper's verification-time comparison;
+* **range enclosure** -- the polynomial's value over the box lies between the
+  minimum and maximum coefficient, giving cheap control-output bounds for
+  the reachability step.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+from scipy.special import comb
+
+from repro.nn.lipschitz import network_lipschitz
+from repro.nn.network import MLP
+from repro.systems.sets import Box
+from repro.verification.intervals import Interval
+
+FunctionLike = Union[MLP, Callable[[np.ndarray], np.ndarray]]
+
+
+def bernstein_error_bound(lipschitz_constant: float, box: Box, degrees: Sequence[int]) -> float:
+    """Lipschitz-based uniform error bound of the Bernstein approximation."""
+
+    degrees = np.asarray(degrees, dtype=np.float64)
+    if np.any(degrees < 1):
+        raise ValueError("degrees must be at least 1")
+    widths = box.widths
+    return float(0.5 * lipschitz_constant * np.sqrt(np.sum(widths**2 / degrees)))
+
+
+def degrees_for_error(lipschitz_constant: float, box: Box, target_error: float, max_degree: int = 64) -> np.ndarray:
+    """Smallest per-dimension degree achieving ``target_error`` (uniform degrees).
+
+    Inverts the error bound; degrees are capped at ``max_degree``, mirroring
+    how a real verifier would give up and partition instead.
+    """
+
+    if target_error <= 0:
+        raise ValueError("target_error must be positive")
+    widths = box.widths
+    # With a uniform degree d: error = L/2 * sqrt(sum(w_i^2) / d)  =>  d = L^2 sum(w^2) / (4 err^2)
+    required = (lipschitz_constant**2) * float(np.sum(widths**2)) / (4.0 * target_error**2)
+    degree = int(np.clip(np.ceil(required), 1, max_degree))
+    return np.full(box.dimension, degree, dtype=int)
+
+
+class BernsteinApproximation:
+    """Bernstein polynomial fit of a (possibly vector-valued) function on a box."""
+
+    def __init__(
+        self,
+        function: FunctionLike,
+        box: Box,
+        degrees: Union[int, Sequence[int]],
+        lipschitz_constant: Optional[float] = None,
+    ):
+        self.box = box
+        degrees = np.atleast_1d(np.asarray(degrees, dtype=int))
+        if degrees.size == 1:
+            degrees = np.full(box.dimension, int(degrees[0]))
+        if degrees.size != box.dimension:
+            raise ValueError("one degree per input dimension is required")
+        if np.any(degrees < 1):
+            raise ValueError("degrees must be at least 1")
+        self.degrees = degrees
+        self._function = function
+        if lipschitz_constant is None and isinstance(function, MLP):
+            lipschitz_constant = network_lipschitz(function)
+        self.lipschitz_constant = lipschitz_constant
+        self.coefficients = self._fit()
+
+    # ------------------------------------------------------------------
+    def _evaluate_function(self, points: np.ndarray) -> np.ndarray:
+        if isinstance(self._function, MLP):
+            values = self._function.predict(points)
+        else:
+            values = np.stack([np.atleast_1d(self._function(point)) for point in points], axis=0)
+        return np.atleast_2d(values)
+
+    def _grid_points(self) -> np.ndarray:
+        axes = [np.linspace(lo, hi, degree + 1) for lo, hi, degree in zip(self.box.low, self.box.high, self.degrees)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.stack([m.reshape(-1) for m in mesh], axis=-1)
+
+    def _fit(self) -> np.ndarray:
+        """Coefficient tensor of shape ``(*degrees + 1, output_dim)``."""
+
+        points = self._grid_points()
+        values = self._evaluate_function(points)
+        shape = tuple(int(degree) + 1 for degree in self.degrees) + (values.shape[-1],)
+        return values.reshape(shape)
+
+    # ------------------------------------------------------------------
+    @property
+    def output_dim(self) -> int:
+        return int(self.coefficients.shape[-1])
+
+    def _basis(self, t: float, degree: int) -> np.ndarray:
+        ks = np.arange(degree + 1)
+        return comb(degree, ks) * (t**ks) * ((1.0 - t) ** (degree - ks))
+
+    def evaluate(self, point: Sequence[float]) -> np.ndarray:
+        """Evaluate the Bernstein polynomial at one point inside the box."""
+
+        point = np.asarray(point, dtype=np.float64)
+        widths = np.where(self.box.widths == 0.0, 1.0, self.box.widths)
+        t = np.clip((point - self.box.low) / widths, 0.0, 1.0)
+        result = self.coefficients
+        for axis, (value, degree) in enumerate(zip(t, self.degrees)):
+            basis = self._basis(float(value), int(degree))
+            result = np.tensordot(basis, result, axes=([0], [0]))
+        return np.atleast_1d(result)
+
+    def error_bound(self) -> float:
+        """Uniform approximation error bound epsilon over the box."""
+
+        if self.lipschitz_constant is None:
+            raise ValueError("a Lipschitz constant is needed for the analytic error bound")
+        return bernstein_error_bound(self.lipschitz_constant, self.box, self.degrees)
+
+    def empirical_error(self, samples: int = 256, rng=None) -> float:
+        """Sampled maximum deviation between the polynomial and the function."""
+
+        points = self.box.sample(rng, count=samples)
+        function_values = self._evaluate_function(points)
+        polynomial_values = np.stack([self.evaluate(point) for point in points], axis=0)
+        return float(np.max(np.abs(function_values - polynomial_values)))
+
+    def range_enclosure(self, include_error: bool = True) -> Interval:
+        """Output bounds over the box from the coefficient min/max (+ error)."""
+
+        flat = self.coefficients.reshape(-1, self.output_dim)
+        lower = flat.min(axis=0)
+        upper = flat.max(axis=0)
+        if include_error and self.lipschitz_constant is not None:
+            epsilon = self.error_bound()
+            lower = lower - epsilon
+            upper = upper + epsilon
+        return Interval(lower, upper)
+
+    def num_coefficients(self) -> int:
+        """Number of stored coefficients: the verification-cost driver."""
+
+        return int(np.prod([degree + 1 for degree in self.degrees]))

@@ -1,0 +1,220 @@
+"""Interval arithmetic for reachable-set over-approximation.
+
+A lightweight vectorised interval type: lower/upper bound arrays with the
+usual arithmetic (natural inclusion functions).  Used to push state boxes
+through the plants' dynamics and, together with the Bernstein range
+enclosure, through the neural controller.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.systems.sets import Box
+
+Scalar = Union[int, float]
+
+
+class Interval:
+    """Elementwise interval ``[lower, upper]`` over NumPy arrays."""
+
+    def __init__(self, lower, upper):
+        lower = np.atleast_1d(np.asarray(lower, dtype=np.float64))
+        upper = np.atleast_1d(np.asarray(upper, dtype=np.float64))
+        lower, upper = np.broadcast_arrays(lower, upper)
+        if np.any(upper < lower):
+            raise ValueError("interval upper bound below lower bound")
+        self.lower = np.array(lower, dtype=np.float64)
+        self.upper = np.array(upper, dtype=np.float64)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def point(cls, value) -> "Interval":
+        value = np.asarray(value, dtype=np.float64)
+        return cls(value, value)
+
+    @classmethod
+    def from_box(cls, box: Box) -> "Interval":
+        return cls(box.low, box.high)
+
+    def to_box(self) -> Box:
+        return Box(self.lower, self.upper)
+
+    # -- helpers ---------------------------------------------------------------
+    @property
+    def width(self) -> np.ndarray:
+        return self.upper - self.lower
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.upper + self.lower) / 2.0
+
+    def __getitem__(self, index) -> "Interval":
+        return Interval(self.lower[index], self.upper[index])
+
+    def __len__(self) -> int:
+        return int(self.lower.size)
+
+    def contains(self, value) -> bool:
+        value = np.asarray(value, dtype=np.float64)
+        return bool(np.all(value >= self.lower - 1e-12) and np.all(value <= self.upper + 1e-12))
+
+    # -- arithmetic ---------------------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> "Interval":
+        if isinstance(other, Interval):
+            return other
+        return Interval.point(other)
+
+    def __add__(self, other) -> "Interval":
+        other = self._coerce(other)
+        return Interval(self.lower + other.lower, self.upper + other.upper)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.upper, -self.lower)
+
+    def __sub__(self, other) -> "Interval":
+        other = self._coerce(other)
+        return Interval(self.lower - other.upper, self.upper - other.lower)
+
+    def __rsub__(self, other) -> "Interval":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other) -> "Interval":
+        other = self._coerce(other)
+        candidates = np.stack(
+            [
+                self.lower * other.lower,
+                self.lower * other.upper,
+                self.upper * other.lower,
+                self.upper * other.upper,
+            ]
+        )
+        return Interval(candidates.min(axis=0), candidates.max(axis=0))
+
+    __rmul__ = __mul__
+
+    def square(self) -> "Interval":
+        low_sq = self.lower**2
+        high_sq = self.upper**2
+        upper = np.maximum(low_sq, high_sq)
+        lower = np.where((self.lower <= 0.0) & (self.upper >= 0.0), 0.0, np.minimum(low_sq, high_sq))
+        return Interval(lower, upper)
+
+    def sin(self) -> "Interval":
+        return _monotone_trig(self, np.sin, np.cos)
+
+    def cos(self) -> "Interval":
+        shifted = Interval(self.lower + np.pi / 2.0, self.upper + np.pi / 2.0)
+        return shifted.sin()
+
+    def clip(self, low, high) -> "Interval":
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        return Interval(np.clip(self.lower, low, high), np.clip(self.upper, low, high))
+
+    def scale(self, factor: Scalar) -> "Interval":
+        factor = float(factor)
+        if factor >= 0:
+            return Interval(self.lower * factor, self.upper * factor)
+        return Interval(self.upper * factor, self.lower * factor)
+
+    def hull(self, other: "Interval") -> "Interval":
+        other = self._coerce(other)
+        return Interval(np.minimum(self.lower, other.lower), np.maximum(self.upper, other.upper))
+
+    def widen(self, margin) -> "Interval":
+        margin = np.abs(np.asarray(margin, dtype=np.float64))
+        return Interval(self.lower - margin, self.upper + margin)
+
+    @staticmethod
+    def concatenate(intervals: Sequence["Interval"]) -> "Interval":
+        return Interval(
+            np.concatenate([interval.lower for interval in intervals]),
+            np.concatenate([interval.upper for interval in intervals]),
+        )
+
+    def __repr__(self) -> str:
+        pieces = ", ".join(f"[{lo:.4g}, {hi:.4g}]" for lo, hi in zip(self.lower, self.upper))
+        return f"Interval({pieces})"
+
+
+def _monotone_trig(interval: Interval, function, derivative) -> Interval:
+    """Range of sin over an interval, handling extrema inside the interval."""
+
+    lower = np.empty_like(interval.lower)
+    upper = np.empty_like(interval.upper)
+    for index, (lo, hi) in enumerate(zip(interval.lower, interval.upper)):
+        if hi - lo >= 2.0 * np.pi:
+            lower[index], upper[index] = -1.0, 1.0
+            continue
+        values = [function(lo), function(hi)]
+        # Interior extrema of sin occur at pi/2 + k*pi.
+        k_start = int(np.ceil((lo - np.pi / 2.0) / np.pi))
+        k_end = int(np.floor((hi - np.pi / 2.0) / np.pi))
+        for k in range(k_start, k_end + 1):
+            values.append(function(np.pi / 2.0 + k * np.pi))
+        lower[index], upper[index] = min(values), max(values)
+    return Interval(lower, upper)
+
+
+def interval_matmul(matrix: np.ndarray, interval: Interval) -> Interval:
+    """Tight interval image of ``matrix @ x`` for ``x`` in the interval."""
+
+    matrix = np.asarray(matrix, dtype=np.float64)
+    center = interval.center
+    radius = interval.width / 2.0
+    new_center = matrix @ center
+    new_radius = np.abs(matrix) @ radius
+    return Interval(new_center - new_radius, new_center + new_radius)
+
+
+def refined_network_output_bounds(network, box: Box, splits_per_dim: int = 4) -> Interval:
+    """IBP bounds refined by subdividing the box and hulling the pieces.
+
+    Plain IBP over-approximates more as the box gets wider; subdividing into
+    ``splits_per_dim`` pieces per dimension and taking the hull of the
+    per-piece bounds is still sound but substantially tighter, at the cost of
+    ``splits_per_dim ** dim`` cheap forward bound propagations.
+    """
+
+    if splits_per_dim <= 1:
+        return network_output_bounds(network, box)
+    enclosure = None
+    for piece in box.subdivide(splits_per_dim):
+        bounds = network_output_bounds(network, piece)
+        enclosure = bounds if enclosure is None else enclosure.hull(bounds)
+    return enclosure
+
+
+def network_output_bounds(network, box: Box) -> Interval:
+    """Interval bound propagation (IBP) through an :class:`repro.nn.MLP`.
+
+    Gives a fast but conservative enclosure of the network's output over a
+    box -- used as a cross-check of the Bernstein range enclosure and by the
+    property tests.
+    """
+
+    from repro.nn.layers import Activation, Linear
+
+    interval = Interval(box.low, box.high)
+    for layer in network.layers:
+        if isinstance(layer, Linear):
+            propagated = interval_matmul(layer.weight.data.T, interval)
+            interval = Interval(propagated.lower + layer.bias.data, propagated.upper + layer.bias.data)
+        elif isinstance(layer, Activation):
+            name = layer.name
+            if name == "relu":
+                interval = Interval(np.maximum(interval.lower, 0.0), np.maximum(interval.upper, 0.0))
+            elif name == "tanh":
+                interval = Interval(np.tanh(interval.lower), np.tanh(interval.upper))
+            elif name == "sigmoid":
+                interval = Interval(
+                    1.0 / (1.0 + np.exp(-interval.lower)), 1.0 / (1.0 + np.exp(-interval.upper))
+                )
+            # identity: unchanged
+    return interval

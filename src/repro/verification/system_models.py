@@ -1,0 +1,125 @@
+"""Interval (inclusion-function) models of the plants' dynamics.
+
+Reachability needs to push a *box* of states (plus a control interval and
+the disturbance bound) through one step of each plant.  Natural interval
+extensions of the dynamics equations of Section IV are implemented here,
+keeping the plant classes themselves purely concrete.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.base import ControlSystem
+from repro.systems.cartpole import CartPole
+from repro.systems.linear3d import ThreeDimensionalSystem
+from repro.systems.vanderpol import VanDerPolOscillator
+from repro.verification.intervals import Interval
+
+
+def interval_dynamics(
+    system: ControlSystem,
+    state: Interval,
+    control: Interval,
+    disturbance: Interval,
+) -> Interval:
+    """One-step interval image of ``system`` from a state box and control interval."""
+
+    if isinstance(system, VanDerPolOscillator):
+        return _vanderpol_interval(system, state, control, disturbance)
+    if isinstance(system, ThreeDimensionalSystem):
+        return _three_dimensional_interval(system, state, control, disturbance)
+    if isinstance(system, CartPole):
+        return _cartpole_interval(system, state, control, disturbance)
+    return _sampled_interval(system, state, control, disturbance)
+
+
+def _vanderpol_interval(
+    system: VanDerPolOscillator, state: Interval, control: Interval, disturbance: Interval
+) -> Interval:
+    s1 = state[0]
+    s2 = state[1]
+    u = control[0]
+    omega = disturbance[0] if len(disturbance) else Interval.point(0.0)
+    tau = system.dt
+    next_s1 = s1 + s2.scale(tau)
+    nonlinear = (Interval.point(1.0) - s1.square()) * s2 * system.mu
+    next_s2 = s2 + (nonlinear - s1 + u).scale(tau) + omega
+    return Interval.concatenate([next_s1, next_s2])
+
+
+def _three_dimensional_interval(
+    system: ThreeDimensionalSystem, state: Interval, control: Interval, disturbance: Interval
+) -> Interval:
+    x, y, z = state[0], state[1], state[2]
+    u = control[0]
+    tau = system.dt
+    next_x = x + (y + z.square().scale(0.5)).scale(tau)
+    next_y = y + z.scale(tau)
+    next_z = z + u.scale(tau)
+    result = Interval.concatenate([next_x, next_y, next_z])
+    if len(disturbance) == 3:
+        result = result + disturbance
+    return result
+
+
+def _cartpole_interval(
+    system: CartPole, state: Interval, control: Interval, disturbance: Interval
+) -> Interval:
+    position, velocity, angle, angular_velocity = state[0], state[1], state[2], state[3]
+    force = control[0]
+    tau = system.dt
+    sin_theta = angle.sin()
+    cos_theta = angle.cos()
+
+    psi = (force + (angular_velocity.square() * sin_theta).scale(system.pole_mass * system.pole_length)).scale(
+        1.0 / system.total_mass
+    )
+    numerator = sin_theta.scale(system.gravity) - cos_theta * psi
+    denominator_interval = (
+        Interval.point(4.0 / 3.0) - cos_theta.square().scale(system.pole_mass / system.total_mass)
+    ).scale(system.pole_length)
+    # Within the safe angle range the denominator is strictly positive, so
+    # dividing by its lower/upper bounds yields a valid enclosure.
+    inverse = Interval(1.0 / denominator_interval.upper, 1.0 / denominator_interval.lower)
+    theta_acc = numerator * inverse
+    s_acc = psi - (cos_theta * theta_acc).scale(system.pole_mass * system.pole_length / system.total_mass)
+
+    next_state = Interval.concatenate(
+        [
+            position + velocity.scale(tau),
+            velocity + s_acc.scale(tau),
+            angle + angular_velocity.scale(tau),
+            angular_velocity + theta_acc.scale(tau),
+        ]
+    )
+    if len(disturbance) == 4:
+        next_state = next_state + disturbance
+    return next_state
+
+
+def _sampled_interval(
+    system: ControlSystem, state: Interval, control: Interval, disturbance: Interval, samples_per_dim: int = 3
+) -> Interval:
+    """Fallback for plants without an analytic inclusion function.
+
+    Evaluates the concrete dynamics on a grid of state/control corners and
+    takes the bounding box, then inflates by the disturbance width.  This is
+    *not* a sound over-approximation in general (documented in DESIGN.md),
+    but it is only used for user-supplied systems outside the paper's three.
+    """
+
+    state_box = state.to_box()
+    control_box = control.to_box()
+    state_points = state_box.grid(samples_per_dim)
+    control_points = control_box.grid(samples_per_dim)
+    zero_disturbance = np.zeros(system.state_dim)
+    images = []
+    for state_point in state_points:
+        for control_point in control_points:
+            images.append(system.dynamics(state_point, control_point, zero_disturbance))
+    images = np.asarray(images)
+    result = Interval(images.min(axis=0), images.max(axis=0))
+    if len(disturbance) == system.state_dim:
+        result = result + disturbance
+    return result

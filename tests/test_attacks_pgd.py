@@ -1,0 +1,64 @@
+"""Tests for the PGD (iterated FGSM) attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import PGDAttack, fgsm_perturbation, pgd_perturbation
+from repro.experts import NeuralController
+from repro.nn.network import MLP
+
+
+@pytest.fixture
+def controller():
+    return NeuralController(MLP(2, 1, hidden_sizes=(16,), seed=0))
+
+
+class TestPGDPerturbation:
+    def test_stays_within_bound(self, controller):
+        state = np.array([0.4, -0.3])
+        perturbed = pgd_perturbation(controller, state, bound=[0.1, 0.2], steps=5)
+        assert np.all(np.abs(perturbed - state) <= [0.1 + 1e-12, 0.2 + 1e-12])
+
+    def test_invalid_steps(self, controller):
+        with pytest.raises(ValueError):
+            pgd_perturbation(controller, np.zeros(2), bound=0.1, steps=0)
+
+    def test_at_least_as_strong_as_fgsm(self, controller):
+        rng = np.random.default_rng(0)
+        stronger = 0
+        total = 20
+        for _ in range(total):
+            state = rng.uniform(-1, 1, size=2)
+            nominal = controller(state)[0]
+            fgsm_shift = abs(controller(fgsm_perturbation(controller, state, 0.15))[0] - nominal)
+            pgd_shift = abs(controller(pgd_perturbation(controller, state, 0.15, steps=5))[0] - nominal)
+            if pgd_shift >= fgsm_shift - 1e-9:
+                stronger += 1
+        assert stronger >= int(0.7 * total)
+
+    def test_single_step_full_size_matches_fgsm(self, controller):
+        state = np.array([0.2, 0.7])
+        fgsm = fgsm_perturbation(controller, state, 0.1)
+        pgd = pgd_perturbation(controller, state, 0.1, steps=1, step_size_fraction=1.0)
+        np.testing.assert_allclose(pgd, fgsm)
+
+
+class TestPGDAttackWrapper:
+    def test_probability_zero_is_identity(self, controller):
+        attack = PGDAttack(controller, bound=0.1, probability=0.0)
+        state = np.array([0.3, 0.3])
+        np.testing.assert_allclose(attack(state, np.random.default_rng(0)), state)
+
+    def test_validation(self, controller):
+        with pytest.raises(ValueError):
+            PGDAttack(controller, bound=0.1, probability=2.0)
+        with pytest.raises(ValueError):
+            PGDAttack(controller, bound=0.1, steps=0)
+
+    def test_usable_in_rollout(self, vanderpol, controller):
+        from repro.attacks import perturbation_budget
+        from repro.systems.simulation import rollout
+
+        attack = PGDAttack(controller, perturbation_budget(vanderpol, 0.1), steps=3)
+        trajectory = rollout(vanderpol, controller, [0.1, 0.1], horizon=10, perturbation=attack, rng=0)
+        assert trajectory.steps <= 10

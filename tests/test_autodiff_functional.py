@@ -1,0 +1,100 @@
+"""Tests for the functional helpers: losses, Gaussian densities, gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, functional
+
+
+class TestLosses:
+    def test_mse_value(self):
+        prediction = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        target = np.array([[1.0, 1.0], [3.0, 6.0]])
+        loss = functional.mse_loss(prediction, target)
+        np.testing.assert_allclose(loss.data, (0.0 + 1.0 + 0.0 + 4.0) / 4.0)
+
+    def test_mse_gradient(self):
+        prediction = Tensor([2.0, 4.0], requires_grad=True)
+        target = np.array([1.0, 1.0])
+        functional.mse_loss(prediction, target).backward()
+        np.testing.assert_allclose(prediction.grad, [2.0 * 1.0 / 2.0, 2.0 * 3.0 / 2.0])
+
+    def test_mse_zero_at_match(self):
+        prediction = Tensor([1.0, -1.0])
+        assert functional.mse_loss(prediction, [1.0, -1.0]).data == pytest.approx(0.0)
+
+    def test_huber_quadratic_region_matches_mse_half(self):
+        prediction = Tensor([0.5])
+        target = np.array([0.0])
+        huber = functional.huber_loss(prediction, target, delta=1.0)
+        np.testing.assert_allclose(huber.data, 0.5 * 0.25)
+
+    def test_huber_linear_region(self):
+        prediction = Tensor([10.0])
+        target = np.array([0.0])
+        huber = functional.huber_loss(prediction, target, delta=1.0)
+        np.testing.assert_allclose(huber.data, 0.5 + (10.0 - 1.0) * 1.0)
+
+    def test_huber_gradient_bounded(self):
+        prediction = Tensor([100.0, -100.0, 0.3], requires_grad=True)
+        functional.huber_loss(prediction, np.zeros(3), delta=1.0).backward()
+        assert np.all(np.abs(prediction.grad) <= 1.0 / 3.0 + 1e-9)
+
+    def test_l2_penalty(self):
+        parameters = [Tensor([1.0, 2.0], requires_grad=True), Tensor([[2.0]], requires_grad=True)]
+        penalty = functional.l2_penalty(parameters)
+        np.testing.assert_allclose(penalty.data, 1.0 + 4.0 + 4.0)
+        penalty.backward()
+        np.testing.assert_allclose(parameters[0].grad, [2.0, 4.0])
+
+
+class TestGaussian:
+    def test_log_prob_matches_scipy_formula(self):
+        mean = Tensor(np.zeros((1, 2)))
+        log_std = Tensor(np.log(np.array([0.5, 2.0])))
+        actions = np.array([[0.5, -1.0]])
+        log_prob = functional.gaussian_log_prob(actions, mean, log_std)
+        expected = 0.0
+        for value, sigma in zip(actions[0], [0.5, 2.0]):
+            expected += -0.5 * (value / sigma) ** 2 - np.log(sigma) - 0.5 * np.log(2 * np.pi)
+        np.testing.assert_allclose(log_prob.data, [expected])
+
+    def test_log_prob_maximal_at_mean(self):
+        mean = Tensor(np.zeros((1, 3)))
+        log_std = Tensor(np.zeros(3))
+        at_mean = functional.gaussian_log_prob(np.zeros((1, 3)), mean, log_std).data
+        away = functional.gaussian_log_prob(np.ones((1, 3)), mean, log_std).data
+        assert at_mean > away
+
+    def test_entropy_increases_with_std(self):
+        small = functional.gaussian_entropy(Tensor(np.log([0.1, 0.1])), action_dim=2)
+        large = functional.gaussian_entropy(Tensor(np.log([2.0, 2.0])), action_dim=2)
+        assert float(large.data) > float(small.data)
+
+    def test_kl_zero_for_identical_distributions(self):
+        mean = np.zeros((4, 2))
+        log_std = np.zeros(2)
+        kl = functional.gaussian_kl(mean, log_std, Tensor(mean), Tensor(log_std))
+        np.testing.assert_allclose(kl.data, 0.0, atol=1e-12)
+
+    def test_kl_positive_for_different_means(self):
+        mean_old = np.zeros((4, 2))
+        log_std = np.zeros(2)
+        kl = functional.gaussian_kl(mean_old, log_std, Tensor(mean_old + 1.0), Tensor(log_std))
+        assert float(kl.data) > 0.0
+
+
+class TestGradientChecking:
+    def test_numerical_gradient_of_quadratic(self):
+        point = np.array([1.0, -2.0, 3.0])
+        grad = functional.numerical_gradient(lambda x: float(np.sum(x**2)), point)
+        np.testing.assert_allclose(grad, 2.0 * point, atol=1e-5)
+
+    def test_check_gradient_pass(self):
+        assert functional.check_gradient(lambda t: (t * t).sum(), np.array([1.0, 2.0, -0.5]))
+
+    def test_check_gradient_composite(self):
+        def network_like(tensor):
+            return ((tensor.tanh() * 3.0).relu() + tensor.sigmoid()).sum()
+
+        assert functional.check_gradient(network_like, np.array([0.3, -0.7, 1.2]), tolerance=1e-3)

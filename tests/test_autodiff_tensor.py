@@ -1,0 +1,250 @@
+"""Unit tests for the reverse-mode autodiff tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor, functional, is_grad_enabled, no_grad
+
+
+def finite_difference(function, point, epsilon=1e-6):
+    return functional.numerical_gradient(function, np.asarray(point, dtype=np.float64), epsilon=epsilon)
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        y = Tensor([4.0, 5.0, 6.0], requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(3))
+        np.testing.assert_allclose(y.grad, np.ones(3))
+
+    def test_sub_backward(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = Tensor([3.0, 4.0], requires_grad=True)
+        (x - y).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(2))
+        np.testing.assert_allclose(y.grad, -np.ones(2))
+
+    def test_mul_backward(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        y = Tensor([5.0, 7.0], requires_grad=True)
+        (x * y).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0, 7.0])
+        np.testing.assert_allclose(y.grad, [2.0, 3.0])
+
+    def test_div_backward(self):
+        x = Tensor([4.0], requires_grad=True)
+        y = Tensor([2.0], requires_grad=True)
+        (x / y).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.5])
+        np.testing.assert_allclose(y.grad, [-1.0])
+
+    def test_pow_backward(self):
+        x = Tensor([3.0], requires_grad=True)
+        (x**2).sum().backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_neg_backward(self):
+        x = Tensor([1.0, -2.0], requires_grad=True)
+        (-x).sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, -1.0])
+
+    def test_scalar_broadcast_add(self):
+        x = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+        (x + 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 2)))
+
+    def test_right_hand_operators(self):
+        x = Tensor([2.0], requires_grad=True)
+        (1.0 - x).sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0])
+        x.zero_grad()
+        (3.0 / x).sum().backward()
+        np.testing.assert_allclose(x.grad, [-0.75])
+
+    def test_broadcast_gradient_reduction(self):
+        # Bias vector broadcast over a batch must receive a summed gradient.
+        bias = Tensor([1.0, 2.0], requires_grad=True)
+        batch = Tensor(np.ones((5, 2)))
+        (batch + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, [5.0, 5.0])
+
+
+class TestMatmulAndShaping:
+    def test_matmul_backward(self):
+        a = np.random.default_rng(0).normal(size=(3, 4))
+        b = np.random.default_rng(1).normal(size=(4, 2))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, np.ones((3, 2)) @ b.T)
+        np.testing.assert_allclose(tb.grad, a.T @ np.ones((3, 2)))
+
+    def test_transpose(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        y = x.T
+        assert y.shape == (3, 2)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_reshape_backward(self):
+        x = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(6))
+
+    def test_getitem_backward(self):
+        x = Tensor(np.arange(5, dtype=float), requires_grad=True)
+        x[1:3].sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_getitem_advanced_indexing(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        rows = np.array([0, 1, 2])
+        cols = np.array([1, 2, 3])
+        x[rows, cols].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[rows, cols] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_concatenate_backward(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = Tensor(np.ones((2, 3)), requires_grad=True)
+        joined = Tensor.concatenate([x, y], axis=-1)
+        assert joined.shape == (2, 5)
+        joined.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(y.grad, np.ones((2, 3)))
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        y = x.sum(axis=0)
+        assert y.shape == (4,)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_mean_gradient_scaling(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 0.25))
+
+    def test_mean_axis(self):
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        x.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 4), 0.25))
+
+    def test_max_backward_routes_to_argmax(self):
+        x = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["exp", "log", "sqrt", "tanh", "sigmoid", "relu", "abs"])
+    def test_matches_finite_differences(self, op):
+        rng = np.random.default_rng(3)
+        point = rng.uniform(0.2, 1.5, size=(4,))
+
+        def build(tensor):
+            return getattr(tensor, op)().sum()
+
+        assert functional.check_gradient(build, point, tolerance=1e-4)
+
+    def test_clip_gradient_mask(self):
+        x = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_tanh_range(self):
+        x = Tensor(np.linspace(-10, 10, 7))
+        y = x.tanh()
+        assert np.all(np.abs(y.data) <= 1.0)
+
+    def test_sigmoid_range(self):
+        x = Tensor(np.linspace(-20, 20, 9))
+        y = x.sigmoid()
+        assert np.all((y.data > 0.0) & (y.data < 1.0))
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_when_reused(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x + x * 3.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_backward_requires_scalar_without_grad_argument(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.ones(3), requires_grad=False)
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2.0
+        assert is_grad_enabled()
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3.0).detach()
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * x).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_deep_chain_backward(self):
+        x = Tensor([1.5], requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.01 + 0.01
+        y.sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+    def test_numpy_returns_copy(self):
+        x = Tensor([1.0, 2.0])
+        array = x.numpy()
+        array[0] = 99.0
+        assert x.data[0] == 1.0
+
+
+class TestPropertyBased:
+    @given(
+        values=st.lists(st.floats(-5, 5), min_size=1, max_size=8),
+        scale=st.floats(-3, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_linear_combination_gradient(self, values, scale):
+        point = np.asarray(values, dtype=np.float64)
+        x = Tensor(point, requires_grad=True)
+        (x * scale).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(point.shape, scale), atol=1e-10)
+
+    @given(values=st.lists(st.floats(0.1, 4.0), min_size=2, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_product_rule(self, values):
+        point = np.asarray(values, dtype=np.float64)
+        x = Tensor(point, requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2.0 * point, rtol=1e-9)
+
+    @given(values=st.lists(st.floats(-2.0, 2.0), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_tanh_gradient_bounded_by_one(self, values):
+        point = np.asarray(values, dtype=np.float64)
+        x = Tensor(point, requires_grad=True)
+        x.tanh().sum().backward()
+        assert np.all(np.abs(x.grad) <= 1.0 + 1e-12)

@@ -1,0 +1,118 @@
+"""Tests for the switching-adaptation and fixed-ensemble baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FixedWeightEnsemble,
+    SwitchingController,
+    SwitchingEnv,
+    SwitchingTrainer,
+    distill_fixed_ensemble,
+)
+from repro.core.config import DistillationConfig, MixingConfig
+from repro.rl.policies import CategoricalMLPPolicy
+from repro.systems.simulation import safe_control_rate
+
+
+class TestSwitchingEnv:
+    def test_action_space_size(self, vanderpol, vanderpol_experts):
+        env = SwitchingEnv(vanderpol, vanderpol_experts, rng=0)
+        assert env.action_space.n == 2
+
+    def test_requires_two_experts(self, vanderpol, vanderpol_experts):
+        with pytest.raises(ValueError):
+            SwitchingEnv(vanderpol, vanderpol_experts[:1])
+
+    def test_action_selects_single_expert(self, vanderpol, vanderpol_experts):
+        env = SwitchingEnv(vanderpol, vanderpol_experts, rng=0)
+        state = np.array([0.4, -0.4])
+        np.testing.assert_allclose(env.action_to_control(0, state), vanderpol_experts[0](state))
+        np.testing.assert_allclose(env.action_to_control(1, state), vanderpol_experts[1](state))
+
+    def test_out_of_range_action_clamped(self, vanderpol, vanderpol_experts):
+        env = SwitchingEnv(vanderpol, vanderpol_experts, rng=0)
+        state = np.array([0.1, 0.1])
+        np.testing.assert_allclose(env.action_to_control(7, state), vanderpol_experts[1](state))
+
+    def test_episode_runs(self, vanderpol, vanderpol_experts):
+        env = SwitchingEnv(vanderpol, vanderpol_experts, rng=0)
+        env.reset(initial_state=np.array([0.2, 0.2]))
+        _, reward, done, _ = env.step(0)
+        assert np.isfinite(reward)
+        assert isinstance(done, bool)
+
+
+class TestSwitchingController:
+    def _controller(self, system, experts):
+        policy = CategoricalMLPPolicy(system.state_dim, len(experts), hidden_sizes=(8,), seed=0)
+        return SwitchingController(system, experts, policy)
+
+    def test_control_matches_selected_expert(self, vanderpol, vanderpol_experts):
+        controller = self._controller(vanderpol, vanderpol_experts)
+        state = np.array([0.3, 0.3])
+        index = controller.selected_expert(state)
+        np.testing.assert_allclose(
+            controller(state), np.clip(vanderpol_experts[index](state), -20, 20)
+        )
+
+    def test_switching_profile_indices_valid(self, vanderpol, vanderpol_experts):
+        controller = self._controller(vanderpol, vanderpol_experts)
+        states = vanderpol.initial_set.sample(np.random.default_rng(0), count=20)
+        profile = controller.switching_profile(states)
+        assert profile.shape == (20,)
+        assert set(np.unique(profile)) <= {0, 1}
+
+    def test_action_space_is_subset_of_mixing(self, vanderpol, vanderpol_experts):
+        """The formal argument of Proposition 1: every switching action is a
+        feasible mixing action (a one-hot weight vector inside the box)."""
+
+        from repro.core.mixing import AdaptiveMixingEnv
+
+        mixing_env = AdaptiveMixingEnv(vanderpol, vanderpol_experts, weight_bound=1.5, rng=0)
+        state = np.array([0.4, -0.2])
+        for index in range(len(vanderpol_experts)):
+            one_hot = np.zeros(len(vanderpol_experts))
+            one_hot[index] = 1.0
+            switching_control = np.clip(vanderpol_experts[index](state), -20, 20)
+            mixing_control = mixing_env.action_to_control(one_hot, state)
+            np.testing.assert_allclose(mixing_control, switching_control)
+
+
+class TestSwitchingTrainer:
+    def test_short_training_produces_controller(self, vanderpol, vanderpol_experts):
+        config = MixingConfig(epochs=2, steps_per_epoch=256, seed=0)
+        trainer = SwitchingTrainer(vanderpol, vanderpol_experts, config=config, rng=0)
+        controller = trainer.train()
+        assert isinstance(controller, SwitchingController)
+        assert trainer.logger is not None and trainer.logger.epochs() == 2
+        rate = safe_control_rate(vanderpol, controller, samples=40, rng=1)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestFixedEnsemble:
+    def test_control_is_convex_combination(self, vanderpol, vanderpol_experts):
+        ensemble = FixedWeightEnsemble(vanderpol, vanderpol_experts, weights=[0.25, 0.75])
+        state = np.array([0.2, 0.4])
+        expected = 0.25 * vanderpol_experts[0](state) + 0.75 * vanderpol_experts[1](state)
+        np.testing.assert_allclose(ensemble(state), np.clip(expected, -20, 20))
+
+    def test_default_weights_uniform(self, vanderpol, vanderpol_experts):
+        ensemble = FixedWeightEnsemble(vanderpol, vanderpol_experts)
+        np.testing.assert_allclose(ensemble.weights, [0.5, 0.5])
+
+    def test_weights_must_be_convex(self, vanderpol, vanderpol_experts):
+        with pytest.raises(ValueError):
+            FixedWeightEnsemble(vanderpol, vanderpol_experts, weights=[0.9, 0.9])
+        with pytest.raises(ValueError):
+            FixedWeightEnsemble(vanderpol, vanderpol_experts, weights=[-0.5, 1.5])
+
+    def test_requires_two_experts(self, vanderpol, vanderpol_experts):
+        with pytest.raises(ValueError):
+            FixedWeightEnsemble(vanderpol, vanderpol_experts[:1])
+
+    def test_distill_fixed_ensemble(self, vanderpol, vanderpol_experts):
+        config = DistillationConfig(hidden_sizes=(8,), epochs=10, dataset_size=200, seed=0)
+        student = distill_fixed_ensemble(vanderpol, vanderpol_experts, config=config, rng=0)
+        assert student.name == "fixed-ensemble-student"
+        assert student(np.array([0.1, 0.1])).shape == (1,)

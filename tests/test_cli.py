@@ -1,0 +1,107 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self, tmp_path):
+        args = build_parser().parse_args(["train", "--output", str(tmp_path / "out")])
+        assert args.command == "train"
+        assert args.system == "vanderpol"
+        assert args.mixing_epochs == 10
+
+    def test_unknown_system_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--system", "quadrotor", "--output", str(tmp_path)])
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def trained_dir(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-artifacts")
+        exit_code = main(
+            [
+                "train",
+                "--system",
+                "vanderpol",
+                "--output",
+                str(directory),
+                "--mixing-epochs",
+                "2",
+                "--mixing-steps",
+                "256",
+                "--distill-epochs",
+                "25",
+                "--dataset-size",
+                "500",
+                "--eval-samples",
+                "30",
+                "--seed",
+                "0",
+            ]
+        )
+        assert exit_code == 0
+        return directory
+
+    def test_train_writes_artifacts(self, trained_dir, capsys):
+        assert (trained_dir / "kappa_star.npz").exists()
+        assert (trained_dir / "record.json").exists()
+
+    def test_evaluate_saved_controller(self, trained_dir, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--system",
+                "vanderpol",
+                "--controller-dir",
+                str(trained_dir),
+                "--samples",
+                "20",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Sr =" in output and "e =" in output
+
+    def test_evaluate_under_noise(self, trained_dir, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--system",
+                "vanderpol",
+                "--controller-dir",
+                str(trained_dir),
+                "--perturbation",
+                "noise",
+                "--samples",
+                "10",
+            ]
+        )
+        assert exit_code == 0
+
+    def test_verify_saved_controller(self, trained_dir, capsys):
+        exit_code = main(
+            [
+                "verify",
+                "--system",
+                "vanderpol",
+                "--controller-dir",
+                str(trained_dir),
+                "--reach-steps",
+                "3",
+                "--target-error",
+                "0.8",
+                "--max-partitions",
+                "256",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "lipschitz" in output
+        assert "reach_status" in output

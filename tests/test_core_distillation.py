@@ -1,0 +1,149 @@
+"""Tests for the distillation step (Section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DistillationConfig
+from repro.core.distillation import (
+    DirectDistiller,
+    DistillationDataset,
+    RobustDistiller,
+    collect_distillation_dataset,
+)
+from repro.experts import LinearStateFeedback, NeuralController
+from repro.nn.lipschitz import network_lipschitz
+
+
+@pytest.fixture
+def teacher():
+    """A simple deterministic teacher so regression targets are exact."""
+
+    return LinearStateFeedback([[3.0, 2.0]], name="teacher")
+
+
+@pytest.fixture
+def small_dataset(vanderpol, teacher):
+    return collect_distillation_dataset(vanderpol, teacher, size=400, trajectory_fraction=0.5, rng=0)
+
+
+class TestDistillationConfig:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            DistillationConfig(adversarial_probability=1.5)
+
+    def test_perturbation_validation(self):
+        with pytest.raises(ValueError):
+            DistillationConfig(perturbation_fraction=-0.1)
+
+    def test_dataset_size_validation(self):
+        with pytest.raises(ValueError):
+            DistillationConfig(dataset_size=0)
+
+    def test_trajectory_fraction_validation(self):
+        with pytest.raises(ValueError):
+            DistillationConfig(trajectory_fraction=1.5)
+
+
+class TestDataset:
+    def test_collect_size_and_safety(self, vanderpol, teacher, small_dataset):
+        assert len(small_dataset) == 400
+        assert small_dataset.states.shape == (400, 2)
+        assert small_dataset.controls.shape == (400, 1)
+        # Labels are the clipped teacher outputs.
+        for state, control in zip(small_dataset.states[:20], small_dataset.controls[:20]):
+            np.testing.assert_allclose(control, np.clip(teacher(state), -20, 20))
+
+    def test_collect_invalid_size(self, vanderpol, teacher):
+        with pytest.raises(ValueError):
+            collect_distillation_dataset(vanderpol, teacher, size=0)
+
+    def test_uniform_only_dataset(self, vanderpol, teacher):
+        dataset = collect_distillation_dataset(vanderpol, teacher, size=100, trajectory_fraction=0.0, rng=0)
+        assert len(dataset) == 100
+        assert all(vanderpol.safe_region.contains(state) for state in dataset.states)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DistillationDataset(np.zeros((5, 2)), np.zeros((4, 1)))
+
+    def test_minibatches_cover_dataset(self, small_dataset):
+        total = sum(len(states) for states, _ in small_dataset.minibatches(64, rng=0))
+        assert total == len(small_dataset)
+
+    def test_split(self, small_dataset):
+        train, valid = small_dataset.split(validation_fraction=0.25, rng=0)
+        assert len(train) + len(valid) == len(small_dataset)
+        assert len(valid) == 100
+
+
+class TestDirectDistillation:
+    def test_student_learns_linear_teacher(self, vanderpol, teacher, small_dataset):
+        config = DistillationConfig(hidden_sizes=(16, 16), epochs=60, dataset_size=400, l2_weight=0.0, seed=0)
+        distiller = DirectDistiller(vanderpol, config=config, rng=0)
+        student = distiller.distill(small_dataset)
+        assert isinstance(student, NeuralController)
+        assert student.name == "kappaD"
+        error = distiller.evaluate_regression_error(small_dataset)
+        assert error < 1.0  # teacher outputs span roughly [-10, 10]
+
+    def test_loss_decreases_over_training(self, vanderpol, small_dataset):
+        config = DistillationConfig(hidden_sizes=(16,), epochs=40, seed=0)
+        distiller = DirectDistiller(vanderpol, config=config, rng=0)
+        distiller.distill(small_dataset)
+        losses = distiller.logger.series("loss")
+        assert losses[-1] < losses[0]
+
+    def test_evaluate_before_distill_raises(self, vanderpol, small_dataset):
+        distiller = DirectDistiller(vanderpol)
+        with pytest.raises(RuntimeError):
+            distiller.evaluate_regression_error(small_dataset)
+
+
+class TestRobustDistillation:
+    def test_student_name_and_shape(self, vanderpol, small_dataset):
+        config = DistillationConfig(hidden_sizes=(16,), epochs=20, seed=0)
+        student = RobustDistiller(vanderpol, config=config, rng=0).distill(small_dataset)
+        assert student.name == "kappa_star"
+        assert student(np.array([0.1, 0.1])).shape == (1,)
+
+    def test_perturbation_bound_scales_with_state_bound(self, vanderpol):
+        config = DistillationConfig(perturbation_fraction=0.1)
+        distiller = RobustDistiller(vanderpol, config=config)
+        np.testing.assert_allclose(distiller.perturbation_bound(), [0.2, 0.2])
+
+    def test_fgsm_states_within_bound(self, vanderpol, small_dataset):
+        config = DistillationConfig(hidden_sizes=(8,), perturbation_fraction=0.1, seed=0)
+        distiller = RobustDistiller(vanderpol, config=config, rng=0)
+        student = distiller._build_student()
+        states = small_dataset.states[:32]
+        controls = small_dataset.controls[:32]
+        adversarial = distiller._fgsm_states(states, controls, student)
+        assert np.all(np.abs(adversarial - states) <= 0.2 + 1e-12)
+        # FGSM moves every coordinate to the boundary of the Delta box.
+        np.testing.assert_allclose(np.abs(adversarial - states), 0.2)
+
+    def test_robust_distillation_reduces_lipschitz_constant(self, vanderpol, teacher, small_dataset):
+        shared = dict(hidden_sizes=(24, 24), epochs=50, batch_size=64, seed=0)
+        direct = DirectDistiller(vanderpol, config=DistillationConfig(l2_weight=0.0, **shared), rng=0)
+        robust = RobustDistiller(
+            vanderpol,
+            config=DistillationConfig(
+                l2_weight=2e-2, adversarial_probability=0.6, perturbation_fraction=0.1, **shared
+            ),
+            rng=0,
+        )
+        direct_student = direct.distill(small_dataset)
+        robust_student = robust.distill(small_dataset)
+        assert network_lipschitz(robust_student.network) < network_lipschitz(direct_student.network)
+
+    def test_robust_student_still_fits_teacher(self, vanderpol, teacher, small_dataset):
+        config = DistillationConfig(hidden_sizes=(24, 24), epochs=60, l2_weight=1e-3, seed=0)
+        distiller = RobustDistiller(vanderpol, config=config, rng=0)
+        distiller.distill(small_dataset)
+        assert distiller.evaluate_regression_error(small_dataset) < 3.0
+
+    def test_probability_zero_behaves_like_direct_plus_regularisation(self, vanderpol, small_dataset):
+        config = DistillationConfig(hidden_sizes=(8,), epochs=5, adversarial_probability=0.0, seed=0)
+        distiller = RobustDistiller(vanderpol, config=config, rng=0)
+        student = distiller.distill(small_dataset)
+        assert np.isfinite(student(np.zeros(2))).all()

@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run end to end on tiny budgets.
+
+Each example is executed in a subprocess exactly as a user would run it
+(``python examples/<name>.py --fast ...``), which also exercises the
+installed-package import path and the CLI-style argument handling.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def run_example(script: str, *args: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestExamples:
+    def test_quickstart_fast(self):
+        result = run_example("quickstart.py", "--fast", "--samples", "40")
+        assert result.returncode == 0, result.stderr
+        assert "Table I style summary" in result.stdout
+        assert "kappa_star" in result.stdout
+
+    def test_quickstart_rejects_unknown_system(self):
+        result = run_example("quickstart.py", "--system", "quadrotor")
+        assert result.returncode != 0
+
+    def test_vanderpol_robustness_fast(self):
+        result = run_example("vanderpol_cocktail.py", "--fast", "--samples", "25")
+        assert result.returncode == 0, result.stderr
+        assert "Lipschitz constants" in result.stdout
+        assert "Sr attack (%)" in result.stdout
+
+    def test_module_cli_help(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"], capture_output=True, text=True, cwd=REPO_ROOT
+        )
+        assert result.returncode == 0
+        assert "train" in result.stdout and "verify" in result.stdout

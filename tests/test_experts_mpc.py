@@ -1,0 +1,73 @@
+"""Tests for the sampling-based MPC expert."""
+
+import numpy as np
+import pytest
+
+from repro.experts.mpc import MPCController
+from repro.systems import ThreeDimensionalSystem, VanDerPolOscillator
+from repro.systems.simulation import rollout
+
+
+@pytest.fixture
+def mpc(vanderpol):
+    return MPCController(vanderpol, horizon=6, num_samples=32, num_iterations=2, rng=0)
+
+
+class TestMPCConstruction:
+    def test_invalid_horizon(self, vanderpol):
+        with pytest.raises(ValueError):
+            MPCController(vanderpol, horizon=0)
+
+    def test_invalid_samples(self, vanderpol):
+        with pytest.raises(ValueError):
+            MPCController(vanderpol, num_samples=2)
+
+    def test_invalid_elite_fraction(self, vanderpol):
+        with pytest.raises(ValueError):
+            MPCController(vanderpol, elite_fraction=0.0)
+
+
+class TestMPCBehaviour:
+    def test_control_is_bounded(self, vanderpol, mpc):
+        for _ in range(5):
+            state = vanderpol.initial_set.sample(np.random.default_rng(0))
+            control = mpc(state)
+            assert control.shape == (1,)
+            assert np.all(np.abs(control) <= 20.0 + 1e-12)
+
+    def test_pushes_state_towards_origin(self, vanderpol, mpc):
+        state = np.array([1.0, 1.0])
+        control = mpc(state)
+        next_state = vanderpol.dynamics(state, control, np.zeros(1))
+        baseline = vanderpol.dynamics(state, np.zeros(1), np.zeros(1))
+        assert np.linalg.norm(next_state) < np.linalg.norm(baseline)
+
+    def test_stabilises_short_rollout(self, vanderpol):
+        mpc = MPCController(vanderpol, horizon=8, num_samples=48, num_iterations=2, rng=1)
+        trajectory = rollout(vanderpol, mpc, [0.8, -0.6], horizon=25, rng=0)
+        assert trajectory.safe
+        assert np.linalg.norm(trajectory.states[-1]) < np.linalg.norm(trajectory.states[0])
+
+    def test_warm_start_reused_and_reset(self, vanderpol, mpc):
+        mpc(np.array([0.5, 0.5]))
+        assert mpc._warm_start is not None
+        mpc.reset()
+        assert mpc._warm_start is None
+
+    def test_unsafe_predictions_penalised(self, threed):
+        # From a state near the boundary the MPC must brake rather than push out.
+        mpc = MPCController(threed, horizon=5, num_samples=48, num_iterations=2, rng=0)
+        state = np.array([0.45, 0.3, 0.2])
+        control = mpc(state)
+        next_state = threed.dynamics(state, control, np.zeros(3))
+        uncontrolled = threed.dynamics(state, np.zeros(1), np.zeros(3))
+        assert next_state[2] <= uncontrolled[2]  # z is braked downward
+
+    def test_usable_as_mixing_expert(self, vanderpol, vanderpol_experts):
+        from repro.core.mixing import AdaptiveMixingEnv
+
+        mpc = MPCController(vanderpol, horizon=4, num_samples=16, num_iterations=1, rng=0)
+        env = AdaptiveMixingEnv(vanderpol, [vanderpol_experts[0], mpc], weight_bound=1.5, rng=0)
+        env.reset(initial_state=np.array([0.2, 0.2]))
+        _, reward, _, _ = env.step(np.array([0.5, 0.5]))
+        assert np.isfinite(reward)

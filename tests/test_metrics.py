@@ -1,0 +1,162 @@
+"""Tests for the evaluation metrics and the table-building harness."""
+
+import numpy as np
+import pytest
+
+from repro.experts import LinearStateFeedback, NeuralController, ZeroController, make_default_experts
+from repro.metrics import (
+    control_signal_trace,
+    controller_lipschitz,
+    energy_metric,
+    evaluate_controller,
+    evaluate_controllers,
+    evaluate_robustness,
+)
+from repro.metrics.evaluation import metrics_to_table, perturbed_metrics_to_table
+from repro.metrics.signals import compare_signal_traces
+from repro.nn.lipschitz import network_lipschitz
+from repro.nn.network import MLP
+
+
+class TestRobustnessMetric:
+    def test_clean_evaluation(self, vanderpol, vanderpol_experts):
+        result = evaluate_robustness(vanderpol, vanderpol_experts[0], perturbation="none", samples=50, rng=0)
+        assert 0.0 <= result.safe_rate <= 1.0
+        assert result.perturbation == "none"
+        assert result.samples == 50
+        assert set(result.as_dict()) == {"safe_rate", "mean_energy", "perturbation", "samples"}
+
+    def test_noise_degrades_or_matches_clean(self, vanderpol):
+        controller = LinearStateFeedback([[0.4, 0.6]])
+        clean = evaluate_robustness(vanderpol, controller, perturbation="none", samples=80, rng=0)
+        noisy = evaluate_robustness(vanderpol, controller, perturbation="noise", fraction=0.15, samples=80, rng=0)
+        assert noisy.safe_rate <= clean.safe_rate + 0.05
+
+    def test_attack_perturbation_mode(self, vanderpol, vanderpol_experts):
+        result = evaluate_robustness(
+            vanderpol, vanderpol_experts[1], perturbation="attack", fraction=0.1, samples=30, rng=0
+        )
+        assert 0.0 <= result.safe_rate <= 1.0
+
+    def test_unknown_perturbation(self, vanderpol, vanderpol_experts):
+        with pytest.raises(ValueError):
+            evaluate_robustness(vanderpol, vanderpol_experts[0], perturbation="jamming")
+
+    def test_shared_initial_states_are_used(self, vanderpol, vanderpol_experts):
+        states = np.zeros((10, 2))
+        result = evaluate_robustness(vanderpol, vanderpol_experts[0], initial_states=states, rng=0)
+        assert result.samples == 10
+        assert result.safe_rate == 1.0  # the origin is trivially stabilised
+
+
+class TestEnergyMetric:
+    def test_zero_controller_short_horizon(self, vanderpol):
+        assert energy_metric(vanderpol, ZeroController(1), samples=20, horizon=3, rng=0) == pytest.approx(0.0)
+
+    def test_stronger_controller_uses_more_energy(self, vanderpol, vanderpol_experts):
+        kappa1, kappa2 = vanderpol_experts
+        states = np.full((30, 2), 0.5)
+        aggressive = energy_metric(vanderpol, kappa1, initial_states=states, rng=0)
+        gentle = energy_metric(vanderpol, kappa2, initial_states=states, rng=0)
+        assert aggressive > gentle
+
+
+class TestLipschitzMetric:
+    def test_neural_controller_uses_network_bound(self):
+        net = MLP(2, 1, hidden_sizes=(8,), seed=0)
+        controller = NeuralController(net)
+        assert controller_lipschitz(controller) == pytest.approx(network_lipschitz(net))
+
+    def test_linear_controller_uses_gain_norm(self):
+        controller = LinearStateFeedback([[3.0, 4.0]])
+        assert controller_lipschitz(controller) == pytest.approx(5.0)
+
+    def test_polynomial_controller_needs_system(self, threed, threed_experts):
+        kappa2 = threed_experts[1]
+        assert controller_lipschitz(kappa2) is None
+        value = controller_lipschitz(kappa2, threed)
+        assert value is not None and value > 0
+
+    def test_unknown_controller_without_system_returns_none(self):
+        assert controller_lipschitz(ZeroController(1)) is None
+
+    def test_sampled_fallback_with_system(self, vanderpol):
+        # The zero controller is 0-Lipschitz; the sampled fallback finds that.
+        assert controller_lipschitz(ZeroController(1), vanderpol) == pytest.approx(0.0)
+
+    def test_mixed_and_switching_have_no_constant(self, vanderpol, vanderpol_experts):
+        from repro.baselines.switching import SwitchingController
+        from repro.core.mixing import MixedController
+        from repro.rl.policies import CategoricalMLPPolicy, GaussianMLPPolicy
+
+        mixed = MixedController(
+            vanderpol,
+            vanderpol_experts,
+            GaussianMLPPolicy(2, 2, action_low=[-1.5, -1.5], action_high=[1.5, 1.5], seed=0),
+            weight_bounds=[1.5, 1.5],
+        )
+        switching = SwitchingController(
+            vanderpol, vanderpol_experts, CategoricalMLPPolicy(2, 2, seed=0)
+        )
+        assert controller_lipschitz(mixed, vanderpol) is None
+        assert controller_lipschitz(switching, vanderpol) is None
+
+
+class TestEvaluationHarness:
+    def test_evaluate_controller_clean_only(self, vanderpol, vanderpol_experts):
+        metrics = evaluate_controller(vanderpol, vanderpol_experts[0], samples=30, rng=0)
+        assert metrics.name == "kappa1"
+        assert metrics.under_attack is None
+        record = metrics.as_dict()
+        assert {"name", "safe_rate", "energy", "lipschitz"} <= set(record)
+
+    def test_evaluate_controller_with_perturbations(self, vanderpol, vanderpol_experts):
+        metrics = evaluate_controller(
+            vanderpol, vanderpol_experts[1], samples=20, include_perturbed=True, perturbation_fraction=0.1, rng=0
+        )
+        assert metrics.under_attack is not None
+        assert metrics.under_noise is not None
+        record = metrics.as_dict()
+        assert "attack_safe_rate" in record and "noise_safe_rate" in record
+
+    def test_evaluate_controllers_shared_states(self, vanderpol, vanderpol_experts):
+        named = {"kappa1": vanderpol_experts[0], "kappa2": vanderpol_experts[1]}
+        metrics = evaluate_controllers(vanderpol, named, samples=30, seed=0)
+        assert set(metrics) == {"kappa1", "kappa2"}
+        # kappa1 is the stronger expert; on the same initial states its safe
+        # rate must be at least kappa2's.
+        assert metrics["kappa1"].clean.safe_rate >= metrics["kappa2"].clean.safe_rate
+
+    def test_table_rendering(self, vanderpol, vanderpol_experts):
+        named = {"kappa1": vanderpol_experts[0], "kappa2": vanderpol_experts[1]}
+        metrics = evaluate_controllers(vanderpol, named, samples=20, seed=0)
+        table = metrics_to_table("Table I (oscillator)", metrics)
+        rendered = table.render()
+        assert "Sr (%)" in rendered and "kappa1" in rendered
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "metric,kappa1,kappa2"
+
+    def test_perturbed_table_rendering(self, vanderpol, vanderpol_experts):
+        named = {"kappa2": vanderpol_experts[1]}
+        metrics = evaluate_controllers(vanderpol, named, samples=10, include_perturbed=True, seed=0)
+        table = perturbed_metrics_to_table("Table II (oscillator)", metrics)
+        assert "Sr attack (%)" in table.render()
+
+
+class TestSignals:
+    def test_control_signal_trace(self, vanderpol, vanderpol_experts):
+        trace = control_signal_trace(vanderpol, vanderpol_experts[0], initial_state=[0.5, 0.5], rng=0)
+        assert len(trace) == vanderpol.horizon
+        assert np.all(np.abs(trace.normalized) <= 1.0 + 1e-9)
+        assert trace.energy >= 0.0
+
+    def test_compare_signal_traces_same_initial_state(self, vanderpol, vanderpol_experts):
+        traces = compare_signal_traces(
+            vanderpol,
+            {"kappa1": vanderpol_experts[0], "kappa2": vanderpol_experts[1]},
+            attack_fraction=0.1,
+            seed=0,
+        )
+        assert set(traces) == {"kappa1", "kappa2"}
+        lengths = {len(trace) for trace in traces.values()}
+        assert lengths == {vanderpol.horizon}

@@ -1,0 +1,76 @@
+"""Tests for the Lipschitz-constant estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import Linear, Sigmoid, Tanh
+from repro.nn.lipschitz import empirical_lipschitz, layer_lipschitz, network_lipschitz, spectral_norm
+from repro.nn.network import MLP
+
+
+class TestSpectralNorm:
+    def test_matches_svd(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(6, 4))
+        expected = np.linalg.svd(matrix, compute_uv=False)[0]
+        assert spectral_norm(matrix) == pytest.approx(expected, rel=1e-4)
+
+    def test_diagonal_matrix(self):
+        assert spectral_norm(np.diag([3.0, 1.0, 2.0])) == pytest.approx(3.0, rel=1e-6)
+
+    def test_zero_matrix(self):
+        assert spectral_norm(np.zeros((3, 3))) == 0.0
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            spectral_norm(np.zeros(3))
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_matrices_match_svd(self, rows, cols, seed):
+        matrix = np.random.default_rng(seed).normal(size=(rows, cols))
+        expected = np.linalg.svd(matrix, compute_uv=False)[0]
+        assert spectral_norm(matrix) == pytest.approx(expected, rel=1e-3, abs=1e-6)
+
+
+class TestNetworkLipschitz:
+    def test_product_of_layer_norms(self):
+        net = MLP(2, 1, hidden_sizes=(4,), activation="tanh", seed=0)
+        layers = net.linear_layers()
+        expected = layer_lipschitz(layers[0]) * layer_lipschitz(layers[1])
+        assert network_lipschitz(net) == pytest.approx(expected, rel=1e-9)
+
+    def test_sigmoid_quarter_factor(self):
+        tanh_net = MLP(2, 1, hidden_sizes=(4,), activation="tanh", seed=0)
+        sigmoid_net = MLP(2, 1, hidden_sizes=(4,), activation="sigmoid", seed=0)
+        # Same weights (same seed), only the activation differs.
+        assert network_lipschitz(sigmoid_net) == pytest.approx(0.25 * network_lipschitz(tanh_net), rel=1e-9)
+
+    def test_scaling_weights_scales_constant(self):
+        net = MLP(2, 1, hidden_sizes=(4,), seed=0)
+        before = network_lipschitz(net)
+        net.linear_layers()[0].weight.data *= 3.0
+        assert network_lipschitz(net) == pytest.approx(3.0 * before, rel=1e-6)
+
+    def test_empirical_never_exceeds_analytic(self):
+        net = MLP(2, 1, hidden_sizes=(16, 16), activation="tanh", seed=3)
+        analytic = network_lipschitz(net)
+        empirical = empirical_lipschitz(net, low=[-2, -2], high=[2, 2], samples=256, seed=0)
+        assert empirical <= analytic * (1.0 + 1e-6)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_empirical_bound_property(self, seed):
+        net = MLP(3, 2, hidden_sizes=(8,), activation="relu", seed=seed)
+        analytic = network_lipschitz(net)
+        empirical = empirical_lipschitz(net, low=[-1, -1, -1], high=[1, 1, 1], samples=128, seed=seed)
+        assert empirical <= analytic * (1.0 + 1e-6)
+
+    def test_empirical_rejects_bad_bounds(self):
+        net = MLP(2, 1, seed=0)
+        with pytest.raises(ValueError):
+            empirical_lipschitz(net, low=[1, 1], high=[0, 0])
+        with pytest.raises(ValueError):
+            empirical_lipschitz(net, low=[0, 0, 0], high=[1, 1])

@@ -1,0 +1,113 @@
+"""Tests for MLP, Sequential and target-network updates."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn.layers import Linear, ReLU
+from repro.nn.network import MLP, Sequential, hard_update, soft_update
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        net = MLP(3, 2, hidden_sizes=(8, 8), seed=0)
+        out = net(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+
+    def test_predict_matches_forward(self):
+        net = MLP(4, 3, hidden_sizes=(16,), activation="relu", seed=1)
+        batch = np.random.default_rng(0).normal(size=(6, 4))
+        np.testing.assert_allclose(net.predict(batch), net(Tensor(batch)).data, atol=1e-12)
+
+    def test_predict_single_vector(self):
+        net = MLP(2, 1, seed=0)
+        single = net.predict(np.array([0.3, -0.2]))
+        assert single.shape == (1,)
+
+    def test_output_activation_tanh_bounds(self):
+        net = MLP(2, 2, hidden_sizes=(8,), output_activation="tanh", seed=0)
+        outputs = net.predict(np.random.default_rng(0).normal(size=(20, 2)) * 10)
+        assert np.all(np.abs(outputs) <= 1.0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            MLP(0, 1)
+
+    def test_seed_reproducibility(self):
+        a = MLP(3, 2, seed=42)
+        b = MLP(3, 2, seed=42)
+        point = np.ones(3)
+        np.testing.assert_allclose(a.predict(point), b.predict(point))
+
+    def test_different_seeds_differ(self):
+        a = MLP(3, 2, seed=1)
+        b = MLP(3, 2, seed=2)
+        assert not np.allclose(a.predict(np.ones(3)), b.predict(np.ones(3)))
+
+    def test_clone_is_independent(self):
+        net = MLP(2, 2, seed=0)
+        copy = net.clone()
+        np.testing.assert_allclose(copy.predict(np.ones(2)), net.predict(np.ones(2)))
+        net.linear_layers()[0].weight.data += 1.0
+        assert not np.allclose(copy.predict(np.ones(2)), net.predict(np.ones(2)))
+
+    def test_architecture_roundtrip(self):
+        net = MLP(3, 2, hidden_sizes=(4, 5), activation="relu", output_activation="tanh", seed=0)
+        rebuilt = MLP.from_architecture(net.architecture())
+        assert rebuilt.hidden_sizes == (4, 5)
+        assert rebuilt.activation_name == "relu"
+        assert rebuilt.output_activation_name == "tanh"
+
+    def test_linear_layers_and_activations(self):
+        net = MLP(2, 1, hidden_sizes=(3, 3), seed=0)
+        assert len(net.linear_layers()) == 3
+        assert len(net.activations()) == 3
+
+    def test_gradients_reach_all_parameters(self):
+        net = MLP(3, 2, hidden_sizes=(8, 8), seed=0)
+        loss = (net(Tensor(np.random.default_rng(0).normal(size=(4, 3)))) ** 2).sum()
+        loss.backward()
+        for parameter in net.parameters():
+            assert parameter.grad is not None
+
+
+class TestSequential:
+    def test_apply_in_order(self):
+        seq = Sequential([Linear(2, 3, rng=np.random.default_rng(0)), ReLU()])
+        out = seq(Tensor(np.ones((1, 2))))
+        assert out.shape == (1, 3)
+        assert np.all(out.data >= 0.0)
+
+    def test_len_and_iter(self):
+        layers = [Linear(2, 2), ReLU()]
+        seq = Sequential(layers)
+        assert len(seq) == 2
+        assert list(seq) == layers
+
+
+class TestTargetUpdates:
+    def test_hard_update_copies(self):
+        source = MLP(2, 2, seed=0)
+        target = MLP(2, 2, seed=1)
+        hard_update(target, source)
+        np.testing.assert_allclose(target.predict(np.ones(2)), source.predict(np.ones(2)))
+
+    def test_soft_update_moves_towards_source(self):
+        source = MLP(2, 2, seed=0)
+        target = MLP(2, 2, seed=1)
+        before = np.linalg.norm(
+            target.linear_layers()[0].weight.data - source.linear_layers()[0].weight.data
+        )
+        soft_update(target, source, tau=0.5)
+        after = np.linalg.norm(
+            target.linear_layers()[0].weight.data - source.linear_layers()[0].weight.data
+        )
+        assert after < before
+
+    def test_soft_update_invalid_tau(self):
+        with pytest.raises(ValueError):
+            soft_update(MLP(2, 2), MLP(2, 2), tau=1.5)
+
+    def test_soft_update_mismatched_networks(self):
+        with pytest.raises(ValueError):
+            soft_update(MLP(2, 2, hidden_sizes=(4,)), MLP(2, 2, hidden_sizes=(4, 4)), tau=0.5)

@@ -1,0 +1,112 @@
+"""Tests for SGD and Adam optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, functional
+from repro.nn.network import MLP
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_step(optimizer, parameter, target):
+    optimizer.zero_grad()
+    loss = ((parameter - Tensor(target)) ** 2).sum()
+    loss.backward()
+    optimizer.step()
+    return float(loss.data)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        parameter = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1)
+        losses = [quadratic_step(optimizer, parameter, np.zeros(2)) for _ in range(100)]
+        assert losses[-1] < 1e-6
+        np.testing.assert_allclose(parameter.data, np.zeros(2), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain_param = Tensor(np.array([5.0]), requires_grad=True)
+        momentum_param = Tensor(np.array([5.0]), requires_grad=True)
+        plain = SGD([plain_param], lr=0.01)
+        with_momentum = SGD([momentum_param], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            quadratic_step(plain, plain_param, np.zeros(1))
+            quadratic_step(with_momentum, momentum_param, np.zeros(1))
+        assert abs(float(momentum_param.data[0])) < abs(float(plain_param.data[0]))
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()
+        optimizer.step()
+        assert float(parameter.data[0]) < 1.0
+
+    def test_invalid_hyperparameters(self):
+        parameter = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_parameters_without_gradient(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([2.0]), requires_grad=True)
+        optimizer = SGD([a, b], lr=0.1)
+        (a * a).sum().backward()
+        optimizer.step()
+        np.testing.assert_allclose(b.data, [2.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Tensor(np.array([4.0, -2.0, 1.0]), requires_grad=True)
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(300):
+            quadratic_step(optimizer, parameter, np.zeros(3))
+        np.testing.assert_allclose(parameter.data, np.zeros(3), atol=1e-3)
+
+    def test_trains_small_regression_network(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.uniform(-1, 1, size=(128, 2))
+        targets = (inputs[:, :1] * 0.5 - inputs[:, 1:] * 0.25 + 0.1)
+        net = MLP(2, 1, hidden_sizes=(16,), seed=0)
+        optimizer = Adam(net.parameters(), lr=1e-2)
+
+        def epoch_loss():
+            optimizer.zero_grad()
+            loss = functional.mse_loss(net(Tensor(inputs)), targets)
+            loss.backward()
+            optimizer.step()
+            return float(loss.data)
+
+        first = epoch_loss()
+        for _ in range(200):
+            last = epoch_loss()
+        assert last < first * 0.1
+
+    def test_invalid_hyperparameters(self):
+        parameter = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([parameter], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([parameter], betas=(1.2, 0.9))
+
+    def test_clip_grad_norm(self):
+        parameter = Tensor(np.array([1000.0, 1000.0]), requires_grad=True)
+        optimizer = Adam([parameter], lr=0.1)
+        optimizer.zero_grad()
+        ((parameter * parameter) * 0.5).sum().backward()
+        norm_before = np.linalg.norm(parameter.grad)
+        returned = optimizer.clip_grad_norm(1.0)
+        assert returned == pytest.approx(norm_before)
+        assert np.linalg.norm(parameter.grad) <= 1.0 + 1e-9
+
+    def test_clip_grad_norm_no_clip_when_small(self):
+        parameter = Tensor(np.array([0.1]), requires_grad=True)
+        optimizer = Adam([parameter], lr=0.1)
+        (parameter * 1.0).sum().backward()
+        optimizer.clip_grad_norm(10.0)
+        np.testing.assert_allclose(parameter.grad, [1.0])

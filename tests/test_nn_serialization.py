@@ -1,0 +1,44 @@
+"""Tests for saving and loading networks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.network import MLP
+from repro.nn.serialization import load_state_dict, save_state_dict, state_dict_from_module
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_predictions(self, tmp_path):
+        net = MLP(3, 2, hidden_sizes=(8, 4), activation="relu", output_activation="tanh", seed=7)
+        path = tmp_path / "student.npz"
+        save_state_dict(net, path)
+        loaded = load_state_dict(path)
+        points = np.random.default_rng(0).normal(size=(10, 3))
+        np.testing.assert_allclose(loaded.predict(points), net.predict(points), atol=1e-12)
+
+    def test_roundtrip_preserves_architecture(self, tmp_path):
+        net = MLP(2, 1, hidden_sizes=(5,), activation="sigmoid", seed=1)
+        path = tmp_path / "net.npz"
+        save_state_dict(net, path)
+        loaded = load_state_dict(path)
+        assert loaded.hidden_sizes == (5,)
+        assert loaded.activation_name == "sigmoid"
+        assert loaded.input_dim == 2 and loaded.output_dim == 1
+
+    def test_creates_parent_directories(self, tmp_path):
+        net = MLP(2, 1, seed=0)
+        path = tmp_path / "nested" / "dir" / "net.npz"
+        save_state_dict(net, path)
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state_dict(tmp_path / "does-not-exist.npz")
+
+    def test_state_dict_from_module(self):
+        net = MLP(2, 2, hidden_sizes=(3,), seed=0)
+        state = state_dict_from_module(net)
+        # Two linear layers, each with weight and bias.
+        assert len(state) == 4
+        for value in state.values():
+            assert isinstance(value, np.ndarray)

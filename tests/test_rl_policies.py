@@ -1,0 +1,135 @@
+"""Tests for the policy and value networks."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.rl.policies import (
+    CategoricalMLPPolicy,
+    DeterministicMLPPolicy,
+    GaussianMLPPolicy,
+    QNetwork,
+    ValueNetwork,
+)
+
+
+class TestGaussianPolicy:
+    def _policy(self):
+        return GaussianMLPPolicy(2, 2, action_low=[-1.5, -1.5], action_high=[1.5, 1.5], hidden_sizes=(16,), seed=0)
+
+    def test_act_within_bounds(self):
+        policy = self._policy()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            action, log_prob = policy.act(np.array([0.3, -0.4]), rng=rng)
+            assert np.all(action >= -1.5) and np.all(action <= 1.5)
+            assert np.isfinite(log_prob)
+
+    def test_deterministic_action_is_mean(self):
+        policy = self._policy()
+        state = np.array([0.1, 0.2])
+        action, _ = policy.act(state, deterministic=True)
+        np.testing.assert_allclose(action, policy.mean_action(state))
+
+    def test_log_prob_graph_matches_act(self):
+        policy = self._policy()
+        state = np.array([0.5, -0.5])
+        action, log_prob = policy.act(state, rng=np.random.default_rng(1))
+        graph_log_prob = policy.log_prob(Tensor(state[None, :]), action[None, :])
+        # act() clips the action; for unclipped samples the densities agree.
+        if np.all(np.abs(action) < 1.5):
+            np.testing.assert_allclose(graph_log_prob.data[0], log_prob, rtol=1e-9)
+
+    def test_entropy_positive_with_unit_std(self):
+        policy = self._policy()
+        policy.log_std.data[:] = 0.0
+        assert float(policy.entropy().data) > 0.0
+
+    def test_bounds_shape_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMLPPolicy(2, 2, action_low=[-1.0], action_high=[1.0, 1.0])
+
+    def test_parameters_include_log_std(self):
+        policy = self._policy()
+        ids = {id(parameter) for parameter in policy.parameters()}
+        assert id(policy.log_std) in ids
+
+
+class TestCategoricalPolicy:
+    def _policy(self, num_actions=3):
+        return CategoricalMLPPolicy(2, num_actions, hidden_sizes=(16,), seed=0)
+
+    def test_probabilities_sum_to_one(self):
+        policy = self._policy()
+        probabilities = policy.probabilities(np.array([0.2, -0.3]))
+        assert probabilities.shape == (3,)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(probabilities >= 0.0)
+
+    def test_act_returns_valid_index(self):
+        policy = self._policy()
+        rng = np.random.default_rng(0)
+        actions = {policy.act(np.array([0.0, 0.0]), rng=rng)[0] for _ in range(100)}
+        assert actions <= {0, 1, 2}
+
+    def test_deterministic_act_is_argmax(self):
+        policy = self._policy()
+        state = np.array([0.4, 0.1])
+        action, _ = policy.act(state, deterministic=True)
+        assert action == int(np.argmax(policy.probabilities(state)))
+
+    def test_log_prob_matches_probabilities(self):
+        policy = self._policy()
+        states = np.array([[0.1, 0.2], [0.3, -0.1]])
+        actions = np.array([0, 2])
+        log_probs = policy.log_prob(Tensor(states), actions).data
+        for row, (state, action) in enumerate(zip(states, actions)):
+            expected = np.log(policy.probabilities(state)[action])
+            assert log_probs[row] == pytest.approx(expected, rel=1e-6)
+
+    def test_requires_two_actions(self):
+        with pytest.raises(ValueError):
+            CategoricalMLPPolicy(2, 1)
+
+
+class TestDeterministicPolicy:
+    def test_output_within_bounds(self):
+        policy = DeterministicMLPPolicy(3, 2, action_low=[-5, -1], action_high=[5, 1], hidden_sizes=(16,), seed=0)
+        states = np.random.default_rng(0).normal(size=(50, 3)) * 10
+        for state in states:
+            action = policy.act(state)
+            assert np.all(action >= [-5, -1]) and np.all(action <= [5, 1])
+
+    def test_noise_changes_action_but_stays_bounded(self):
+        policy = DeterministicMLPPolicy(2, 1, action_low=[-1], action_high=[1], seed=0)
+        state = np.array([0.1, 0.1])
+        clean = policy.act(state)
+        noisy = policy.act(state, noise_scale=0.5, rng=np.random.default_rng(0))
+        assert not np.allclose(clean, noisy)
+        assert np.all(np.abs(noisy) <= 1.0)
+
+    def test_forward_graph_matches_act(self):
+        policy = DeterministicMLPPolicy(2, 1, action_low=[-3], action_high=[3], seed=0)
+        state = np.array([0.4, -0.2])
+        graph = policy.forward(Tensor(state[None, :])).data[0]
+        np.testing.assert_allclose(graph, policy.act(state), atol=1e-12)
+
+
+class TestValueAndQNetworks:
+    def test_value_network_scalar(self):
+        value_net = ValueNetwork(3, hidden_sizes=(8,), seed=0)
+        assert isinstance(value_net.value(np.zeros(3)), float)
+        values = value_net.values(np.zeros((5, 3)))
+        assert values.shape == (5,)
+
+    def test_q_network_shapes(self):
+        q_net = QNetwork(3, 2, hidden_sizes=(8,), seed=0)
+        q_values = q_net.q_values(np.zeros((4, 3)), np.zeros((4, 2)))
+        assert q_values.shape == (4,)
+
+    def test_q_network_gradient_flows_to_action_input(self):
+        q_net = QNetwork(2, 1, hidden_sizes=(8,), seed=0)
+        actions = Tensor(np.zeros((3, 1)), requires_grad=True)
+        q_net(Tensor(np.zeros((3, 2))), actions).sum().backward()
+        assert actions.grad is not None
+        assert actions.grad.shape == (3, 1)
