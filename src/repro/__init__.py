@@ -13,8 +13,9 @@ The public API mirrors the paper's workflow::
     result = CocktailPipeline(system, experts, CocktailConfig.fast()).run()
     metrics = evaluate_controllers(system, result.controllers(), samples=100)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the mapping
-between the paper's tables/figures and the benchmark harnesses.
+See README.md for install/quickstart and docs/architecture.md for the module
+map (including the batched Monte-Carlo rollout engine that all metrics run
+on); the ``benchmarks/`` harnesses regenerate the paper's tables and figures.
 """
 
 from repro.core import (
@@ -23,6 +24,7 @@ from repro.core import (
     CocktailResult,
     DirectDistiller,
     DistillationConfig,
+    EvaluationConfig,
     MixedController,
     MixingConfig,
     MixingTrainer,
@@ -58,6 +60,7 @@ __all__ = [
     "CocktailConfig",
     "MixingConfig",
     "DistillationConfig",
+    "EvaluationConfig",
     "CocktailPipeline",
     "CocktailResult",
     "MixingTrainer",

@@ -26,6 +26,13 @@ class UniformMeasurementNoise:
         rng = get_rng(rng)
         return state + rng.uniform(-self.bound, self.bound, size=state.shape)
 
+    def perturb_batch(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Perturb an ``(N, state_dim)`` batch with one vectorised draw."""
+
+        rng = get_rng(rng)
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        return states + rng.uniform(-self.bound, self.bound, size=states.shape)
+
     def magnitude(self) -> np.ndarray:
         return self.bound.copy()
 
@@ -48,6 +55,15 @@ class GaussianMeasurementNoise:
         noise = rng.normal(0.0, self.std, size=state.shape)
         limit = self.bound_multiplier * self.std
         return state + np.clip(noise, -limit, limit)
+
+    def perturb_batch(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Perturb an ``(N, state_dim)`` batch with one vectorised draw."""
+
+        rng = get_rng(rng)
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        noise = rng.normal(0.0, self.std, size=states.shape)
+        limit = self.bound_multiplier * self.std
+        return states + np.clip(noise, -limit, limit)
 
     def magnitude(self) -> np.ndarray:
         return self.bound_multiplier * self.std

@@ -14,7 +14,7 @@ from typing import Sequence, Union
 
 import numpy as np
 
-from repro.attacks.fgsm import ControllerLike, _control_change_gradient
+from repro.attacks.fgsm import ControllerLike, _control_change_gradient_batch
 from repro.utils.seeding import get_rng
 
 
@@ -29,21 +29,41 @@ def pgd_perturbation(
 
     ``step_size_fraction`` scales each ascent step relative to the bound;
     the iterate is projected back into ``[state - bound, state + bound]``
-    after every step so the final perturbation respects ``Delta``.
+    after every step so the final perturbation respects ``Delta``.  A
+    single-row wrapper over :func:`pgd_perturbation_batch`.
     """
+
+    state = np.asarray(state, dtype=np.float64)
+    return pgd_perturbation_batch(
+        controller,
+        state[None, :],
+        bound,
+        steps=steps,
+        step_size_fraction=step_size_fraction,
+    )[0]
+
+
+def pgd_perturbation_batch(
+    controller: ControllerLike,
+    states: np.ndarray,
+    bound: Union[float, Sequence[float]],
+    steps: int = 5,
+    step_size_fraction: float = 0.5,
+) -> np.ndarray:
+    """Row-wise :func:`pgd_perturbation` for an ``(N, state_dim)`` batch."""
 
     if steps <= 0:
         raise ValueError("steps must be positive")
-    state = np.asarray(state, dtype=np.float64)
+    states = np.atleast_2d(np.asarray(states, dtype=np.float64))
     bound = np.atleast_1d(np.asarray(bound, dtype=np.float64))
     step_size = step_size_fraction * bound
-    current = state.copy()
+    current = states.copy()
     for _ in range(steps):
-        gradient = _control_change_gradient(controller, current)
+        gradient = _control_change_gradient_batch(controller, current)
         sign = np.sign(gradient)
         sign[sign == 0.0] = 1.0
         current = current + step_size * sign
-        current = np.clip(current, state - bound, state + bound)
+        current = np.clip(current, states - bound, states + bound)
     return current
 
 
@@ -75,6 +95,32 @@ class PGDAttack:
         return pgd_perturbation(
             self.controller,
             state,
+            self.bound,
+            steps=self.steps,
+            step_size_fraction=self.step_size_fraction,
+        )
+
+    def perturb_batch(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Attack an ``(N, state_dim)`` batch of measurements at one time step."""
+
+        rng = get_rng(rng)
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if self.probability < 1.0:
+            attacked = rng.uniform(size=len(states)) <= self.probability
+            if not np.any(attacked):
+                return states
+            result = states.copy()
+            result[attacked] = pgd_perturbation_batch(
+                self.controller,
+                states[attacked],
+                self.bound,
+                steps=self.steps,
+                step_size_fraction=self.step_size_fraction,
+            )
+            return result
+        return pgd_perturbation_batch(
+            self.controller,
+            states,
             self.bound,
             steps=self.steps,
             step_size_fraction=self.step_size_fraction,

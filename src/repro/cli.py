@@ -26,6 +26,7 @@ from repro import (
     CocktailConfig,
     CocktailPipeline,
     DistillationConfig,
+    EvaluationConfig,
     MixingConfig,
     make_default_experts,
     make_system,
@@ -50,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--distill-epochs", type=int, default=100)
     train.add_argument("--dataset-size", type=int, default=2500)
     train.add_argument("--eval-samples", type=int, default=150)
+    train.add_argument(
+        "--eval-batch-size",
+        type=int,
+        default=0,
+        help="Monte-Carlo rollouts advanced in lockstep (0 = whole sample as one batch)",
+    )
     train.add_argument("--seed", type=int, default=0)
 
     evaluate = subparsers.add_parser("evaluate", help="evaluate a saved student controller")
@@ -59,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--perturbation", default="none", choices=["none", "attack", "noise"])
     evaluate.add_argument("--fraction", type=float, default=0.1)
     evaluate.add_argument("--samples", type=int, default=200)
+    evaluate.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="Monte-Carlo rollouts advanced in lockstep (0 = whole sample as one batch)",
+    )
     evaluate.add_argument("--seed", type=int, default=0)
 
     verify = subparsers.add_parser("verify", help="verify a saved student controller")
@@ -89,10 +102,19 @@ def _command_train(args: argparse.Namespace) -> int:
             trajectory_fraction=0.7 if args.system == "cartpole" else 0.6,
             seed=args.seed,
         ),
+        evaluation=EvaluationConfig(
+            samples=args.eval_samples,
+            batch_size=args.eval_batch_size or None,
+        ),
         seed=args.seed,
     )
     result = CocktailPipeline(system, experts, config).run()
-    metrics = evaluate_controllers(system, result.controllers(), samples=args.eval_samples, seed=args.seed)
+    metrics = evaluate_controllers(
+        system,
+        result.controllers(),
+        seed=args.seed,
+        config=config.evaluation,
+    )
     print(metrics_to_table(f"Cocktail on {args.system}", metrics))
     record = {name: metric.as_dict() for name, metric in metrics.items()}
     save_cocktail_result(result, args.output, record={"system": args.system, "metrics": record, "seed": args.seed})
@@ -111,6 +133,7 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         fraction=args.fraction,
         samples=args.samples,
         rng=args.seed,
+        batch_size=args.batch_size or None,
     )
     print(
         f"{args.controller} on {args.system} ({args.perturbation}, {args.samples} samples): "

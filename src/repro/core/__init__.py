@@ -12,7 +12,7 @@ This package is the paper's primary contribution (Section III):
 * :mod:`repro.core.cocktail` -- the end-to-end pipeline of Algorithm 1.
 """
 
-from repro.core.config import CocktailConfig, DistillationConfig, MixingConfig
+from repro.core.config import CocktailConfig, DistillationConfig, EvaluationConfig, MixingConfig
 from repro.core.mixing import AdaptiveMixingEnv, MixedController, MixingTrainer
 from repro.core.distillation import (
     DirectDistiller,
@@ -25,6 +25,7 @@ from repro.core.cocktail import CocktailPipeline, CocktailResult
 __all__ = [
     "MixingConfig",
     "DistillationConfig",
+    "EvaluationConfig",
     "CocktailConfig",
     "AdaptiveMixingEnv",
     "MixedController",

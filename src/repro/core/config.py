@@ -105,11 +105,39 @@ class DistillationConfig:
 
 
 @dataclass
+class EvaluationConfig:
+    """Configuration of the Monte-Carlo evaluation harness.
+
+    The paper's metrics (Sr, e, Tables I-II) are estimated over ``samples``
+    closed-loop rollouts; the rollouts run on the batched engine
+    (:func:`repro.systems.simulation.rollout_batch`), which advances up to
+    ``batch_size`` trajectories in lockstep.
+    """
+
+    #: Number of Monte-Carlo rollouts per metric (the paper uses 500).
+    samples: int = 500
+    #: Trajectories advanced in lockstep per batch; ``None`` runs the whole
+    #: sample as a single batch (fastest; chunk to bound peak memory).
+    batch_size: Optional[int] = None
+    #: Perturbation magnitude for Table II as a fraction of the state bound.
+    perturbation_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.samples <= 0:
+            raise ValueError("samples must be positive")
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ValueError("batch_size must be positive (or None for one batch)")
+        if self.perturbation_fraction < 0:
+            raise ValueError("perturbation_fraction must be non-negative")
+
+
+@dataclass
 class CocktailConfig:
     """End-to-end configuration of Algorithm 1."""
 
     mixing: MixingConfig = field(default_factory=MixingConfig)
     distillation: DistillationConfig = field(default_factory=DistillationConfig)
+    evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
     seed: Optional[int] = None
 
     @classmethod

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.core.config import EvaluationConfig
 from repro.experts.base import Controller
 from repro.metrics.lipschitz import controller_lipschitz
 from repro.metrics.robustness import RobustnessResult, evaluate_robustness
@@ -53,21 +54,39 @@ def evaluate_controller(
     system: ControlSystem,
     controller: Controller,
     name: Optional[str] = None,
-    samples: int = 500,
-    perturbation_fraction: float = 0.1,
+    samples: Optional[int] = None,
+    perturbation_fraction: Optional[float] = None,
     include_perturbed: bool = False,
     initial_states: Optional[np.ndarray] = None,
     rng: RngLike = None,
+    batch_size: Optional[int] = None,
+    config: Optional[EvaluationConfig] = None,
 ) -> ControllerMetrics:
-    """Measure one controller; see :func:`evaluate_controllers` for the batch form."""
+    """Measure one controller; see :func:`evaluate_controllers` for the batch form.
 
+    ``config`` supplies defaults for ``samples``, ``perturbation_fraction``
+    and ``batch_size``; explicitly passed values win over it.
+    """
+
+    config = config if config is not None else EvaluationConfig()
+    samples = config.samples if samples is None else samples
+    perturbation_fraction = (
+        config.perturbation_fraction if perturbation_fraction is None else perturbation_fraction
+    )
+    batch_size = config.batch_size if batch_size is None else batch_size
     generator = get_rng(rng)
     if initial_states is None:
         initial_states = sample_initial_states(system, samples, rng=generator)
     name = name if name is not None else getattr(controller, "name", "controller")
 
     clean = evaluate_robustness(
-        system, controller, perturbation="none", samples=samples, rng=generator, initial_states=initial_states
+        system,
+        controller,
+        perturbation="none",
+        samples=samples,
+        rng=generator,
+        initial_states=initial_states,
+        batch_size=batch_size,
     )
     metrics = ControllerMetrics(
         name=name,
@@ -83,6 +102,7 @@ def evaluate_controller(
             samples=samples,
             rng=generator,
             initial_states=initial_states,
+            batch_size=batch_size,
         )
         metrics.under_noise = evaluate_robustness(
             system,
@@ -92,6 +112,7 @@ def evaluate_controller(
             samples=samples,
             rng=generator,
             initial_states=initial_states,
+            batch_size=batch_size,
         )
     return metrics
 
@@ -99,13 +120,25 @@ def evaluate_controller(
 def evaluate_controllers(
     system: ControlSystem,
     controllers: Dict[str, Controller],
-    samples: int = 500,
-    perturbation_fraction: float = 0.1,
+    samples: Optional[int] = None,
+    perturbation_fraction: Optional[float] = None,
     include_perturbed: bool = False,
     seed: int = 0,
+    batch_size: Optional[int] = None,
+    config: Optional[EvaluationConfig] = None,
 ) -> Dict[str, ControllerMetrics]:
-    """Evaluate every named controller on the same sampled initial states."""
+    """Evaluate every named controller on the same sampled initial states.
 
+    ``config`` supplies defaults for ``samples``, ``perturbation_fraction``
+    and ``batch_size``; explicitly passed values win over it.
+    """
+
+    config = config if config is not None else EvaluationConfig()
+    samples = config.samples if samples is None else samples
+    perturbation_fraction = (
+        config.perturbation_fraction if perturbation_fraction is None else perturbation_fraction
+    )
+    batch_size = config.batch_size if batch_size is None else batch_size
     generator = get_rng(seed)
     initial_states = sample_initial_states(system, samples, rng=generator)
     results: Dict[str, ControllerMetrics] = {}
@@ -119,6 +152,7 @@ def evaluate_controllers(
             include_perturbed=include_perturbed,
             initial_states=initial_states,
             rng=get_rng(seed + 1),
+            batch_size=batch_size,
         )
     return results
 

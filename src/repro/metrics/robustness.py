@@ -47,8 +47,12 @@ def evaluate_robustness(
     samples: int = 500,
     rng: RngLike = None,
     initial_states: Optional[np.ndarray] = None,
+    batch_size: Optional[int] = None,
 ) -> RobustnessResult:
     """Estimate ``Sr`` and ``e`` under the requested perturbation regime.
+
+    The Monte-Carlo rollouts run on the batched engine
+    (:func:`repro.systems.simulation.rollout_batch`).
 
     Parameters
     ----------
@@ -61,6 +65,9 @@ def evaluate_robustness(
     initial_states:
         Pre-drawn initial states, so every controller in a comparison can be
         evaluated on exactly the same sample.
+    batch_size:
+        How many trajectories advance in lockstep at once; ``None`` runs the
+        whole sample as one batch.
     """
 
     generator = get_rng(rng)
@@ -78,7 +85,14 @@ def evaluate_robustness(
     else:
         raise ValueError("perturbation must be 'none', 'noise' or 'attack'")
 
-    result = evaluate_rollouts(system, controller, initial_states, perturbation=perturbation_fn, rng=generator)
+    result = evaluate_rollouts(
+        system,
+        controller,
+        initial_states,
+        perturbation=perturbation_fn,
+        rng=generator,
+        batch_size=batch_size,
+    )
     return RobustnessResult(
         safe_rate=result.safe_rate,
         mean_energy=result.mean_energy,

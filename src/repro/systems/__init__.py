@@ -13,9 +13,13 @@ from repro.systems.vanderpol import VanDerPolOscillator
 from repro.systems.linear3d import ThreeDimensionalSystem
 from repro.systems.cartpole import CartPole
 from repro.systems.simulation import (
+    EvaluationResult,
     Trajectory,
+    TrajectoryBatch,
     control_energy,
+    evaluate_rollouts,
     rollout,
+    rollout_batch,
     safe_control_rate,
     sample_initial_states,
 )
@@ -29,7 +33,11 @@ __all__ = [
     "ThreeDimensionalSystem",
     "CartPole",
     "Trajectory",
+    "TrajectoryBatch",
+    "EvaluationResult",
     "rollout",
+    "rollout_batch",
+    "evaluate_rollouts",
     "safe_control_rate",
     "control_energy",
     "sample_initial_states",

@@ -87,6 +87,30 @@ class ControlSystem:
 
         raise NotImplementedError
 
+    def dynamics_batch(
+        self, states: np.ndarray, controls: np.ndarray, disturbances: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`dynamics` over ``(N, state_dim)`` batches.
+
+        Inputs are ``states (N, state_dim)``, ``controls (N, control_dim)``
+        (already clipped) and ``disturbances (N, omega_dim)``; the result has
+        shape ``(N, state_dim)`` and row ``i`` must equal
+        ``dynamics(states[i], controls[i], disturbances[i])``.  The default
+        loops over rows; the concrete test systems override it with NumPy
+        array expressions so the batched rollout engine runs at array speed.
+        """
+
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        controls = np.atleast_2d(np.asarray(controls, dtype=np.float64))
+        disturbances = np.atleast_2d(np.asarray(disturbances, dtype=np.float64))
+        return np.stack(
+            [
+                self.dynamics(state, control, disturbance)
+                for state, control, disturbance in zip(states, controls, disturbances)
+            ],
+            axis=0,
+        )
+
     # ------------------------------------------------------------------
     # Common behaviour
     # ------------------------------------------------------------------
@@ -122,10 +146,50 @@ class ControlSystem:
         disturbance = np.atleast_1d(np.asarray(disturbance, dtype=np.float64))
         return self.dynamics(state, clipped, disturbance)
 
+    def clip_control_batch(self, controls: np.ndarray) -> np.ndarray:
+        """Clip a ``(N, control_dim)`` batch of raw commands to ``U``."""
+
+        controls = np.atleast_2d(np.asarray(controls, dtype=np.float64))
+        if controls.shape[-1] != self.control_dim:
+            raise ValueError(
+                f"controls have dimension {controls.shape[-1]}, expected {self.control_dim}"
+            )
+        return np.clip(controls, self.control_bound.low, self.control_bound.high)
+
+    def step_batch(
+        self,
+        states: np.ndarray,
+        controls: np.ndarray,
+        rng: RngLike = None,
+        disturbances: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Advance a ``(N, state_dim)`` batch of plants by one period.
+
+        The vectorised counterpart of :meth:`step`: controls are clipped, one
+        disturbance is sampled per batch member (unless ``disturbances``
+        overrides the sampling) and :meth:`dynamics_batch` produces the next
+        states.  With ``N = 1`` this consumes the generator stream exactly
+        like a single :meth:`step` call.
+        """
+
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if states.shape[-1] != self.state_dim:
+            raise ValueError(f"states have shape {states.shape}, expected (N, {self.state_dim})")
+        clipped = self.clip_control_batch(controls)
+        if disturbances is None:
+            disturbances = self.disturbance.sample_batch(get_rng(rng), count=len(states))
+        disturbances = np.atleast_2d(np.asarray(disturbances, dtype=np.float64))
+        return self.dynamics_batch(states, clipped, disturbances)
+
     def is_safe(self, state: Sequence[float]) -> bool:
         """Whether ``state`` lies inside the safe region ``X``."""
 
         return self.safe_region.contains(state)
+
+    def is_safe_batch(self, states: np.ndarray) -> np.ndarray:
+        """Per-row safety mask for a ``(N, state_dim)`` batch of states."""
+
+        return self.safe_region.contains_batch(states)
 
     def sample_initial_state(self, rng: RngLike = None) -> np.ndarray:
         return self.initial_set.sample(get_rng(rng))

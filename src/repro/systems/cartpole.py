@@ -91,3 +91,36 @@ class CartPole(ControlSystem):
         if disturbance.size == self.state_dim:
             next_state = next_state + disturbance
         return next_state
+
+    def dynamics_batch(
+        self, states: np.ndarray, controls: np.ndarray, disturbances: np.ndarray
+    ) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        controls = np.atleast_2d(np.asarray(controls, dtype=np.float64))
+        disturbances = np.atleast_2d(np.asarray(disturbances, dtype=np.float64))
+        position = states[:, 0]
+        velocity = states[:, 1]
+        angle = states[:, 2]
+        angular_velocity = states[:, 3]
+        force = controls[:, 0]
+        sin_theta = np.sin(angle)
+        cos_theta = np.cos(angle)
+
+        psi = (force + self.pole_mass * self.pole_length * angular_velocity**2 * sin_theta) / self.total_mass
+        theta_acc = (self.gravity * sin_theta - cos_theta * psi) / (
+            self.pole_length * (4.0 / 3.0 - self.pole_mass * cos_theta**2 / self.total_mass)
+        )
+        s_acc = psi - self.pole_mass * self.pole_length * cos_theta * theta_acc / self.total_mass
+
+        next_states = np.stack(
+            [
+                position + self.dt * velocity,
+                velocity + self.dt * s_acc,
+                angle + self.dt * angular_velocity,
+                angular_velocity + self.dt * theta_acc,
+            ],
+            axis=1,
+        )
+        if disturbances.shape[-1] == self.state_dim:
+            next_states = next_states + disturbances
+        return next_states

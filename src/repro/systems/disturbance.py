@@ -25,6 +25,17 @@ class DisturbanceModel:
     def sample(self, rng: RngLike = None) -> np.ndarray:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def sample_batch(self, rng: RngLike = None, count: int = 1) -> np.ndarray:
+        """Sample ``count`` independent disturbances, shape ``(count, dim)``.
+
+        The default loops over :meth:`sample`; concrete models override it
+        with a single vectorised draw so the batched rollout engine consumes
+        the generator stream identically to ``count`` scalar draws.
+        """
+
+        generator = get_rng(rng)
+        return np.stack([self.sample(generator) for _ in range(count)], axis=0)
+
     def bound(self) -> Box:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -39,6 +50,9 @@ class NoDisturbance(DisturbanceModel):
 
     def sample(self, rng: RngLike = None) -> np.ndarray:
         return np.zeros(self.dimension)
+
+    def sample_batch(self, rng: RngLike = None, count: int = 1) -> np.ndarray:
+        return np.zeros((count, self.dimension))
 
     def bound(self) -> Box:
         return Box(np.zeros(self.dimension), np.zeros(self.dimension))
@@ -57,6 +71,9 @@ class UniformDisturbance(DisturbanceModel):
 
     def sample(self, rng: RngLike = None) -> np.ndarray:
         return self._box.sample(get_rng(rng))
+
+    def sample_batch(self, rng: RngLike = None, count: int = 1) -> np.ndarray:
+        return self._box.sample(get_rng(rng), count=count)
 
     def bound(self) -> Box:
         return self._box

@@ -53,3 +53,21 @@ class ThreeDimensionalSystem(ControlSystem):
         if disturbance.size == self.state_dim:
             next_state = next_state + disturbance
         return next_state
+
+    def dynamics_batch(
+        self, states: np.ndarray, controls: np.ndarray, disturbances: np.ndarray
+    ) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        controls = np.atleast_2d(np.asarray(controls, dtype=np.float64))
+        disturbances = np.atleast_2d(np.asarray(disturbances, dtype=np.float64))
+        x, y, z = states[:, 0], states[:, 1], states[:, 2]
+        u = controls[:, 0]
+        x_dot = y + 0.5 * z**2
+        y_dot = z
+        z_dot = u
+        next_states = np.stack(
+            [x + self.dt * x_dot, y + self.dt * y_dot, z + self.dt * z_dot], axis=1
+        )
+        if disturbances.shape[-1] == self.state_dim:
+            next_states = next_states + disturbances
+        return next_states

@@ -72,6 +72,18 @@ class Box:
         point = np.asarray(point, dtype=np.float64)
         return bool(np.all(point >= self.low - tolerance) and np.all(point <= self.high + tolerance))
 
+    def contains_batch(self, points: Sequence[Sequence[float]], tolerance: float = 0.0) -> np.ndarray:
+        """Vectorised membership test for a ``(N, dim)`` batch of points.
+
+        Returns a boolean mask of shape ``(N,)``; row ``i`` is ``True`` when
+        ``points[i]`` lies inside the box (within ``tolerance``).
+        """
+
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.all(
+            (points >= self.low - tolerance) & (points <= self.high + tolerance), axis=-1
+        )
+
     def contains_box(self, other: "Box", tolerance: float = 0.0) -> bool:
         return bool(
             np.all(other.low >= self.low - tolerance) and np.all(other.high <= self.high + tolerance)

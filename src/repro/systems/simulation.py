@@ -1,12 +1,37 @@
 """Closed-loop trajectory simulation and the paper's Monte-Carlo metrics.
 
 The robustness (safe control rate) and energy metrics of Section II are
-estimated exactly the way the paper does it: sample initial states from
-``X0``, roll the closed loop forward for ``T`` steps, check whether every
-visited state stays inside ``X`` and accumulate the 1-norm of the applied
-control.  State perturbations (attacks or measurement noise) are injected by
-an optional callable so the same rollout code serves the clean, noisy and
-attacked evaluations.
+Monte-Carlo estimates: sample initial states from ``X0``, roll the closed
+loop forward for ``T`` steps, check whether every visited state stays inside
+``X`` and accumulate the 1-norm of the applied control.  Two engines produce
+those rollouts:
+
+* :func:`rollout_batch` -- the vectorised engine.  It advances an
+  ``(N, state_dim)`` batch of trajectories in lockstep, one NumPy array
+  operation per step, masking out trajectories that have already violated
+  safety.  All Monte-Carlo metrics (:func:`evaluate_rollouts`,
+  :func:`safe_control_rate`, :func:`control_energy` and everything in
+  :mod:`repro.metrics`) run on this engine.
+* :func:`rollout` -- the scalar engine, now a thin ``N = 1`` wrapper around
+  :func:`rollout_batch`.  With the same seed it reproduces the historical
+  per-trajectory results exactly (state for state, control for control),
+  which the batch equivalence tests assert.
+
+Threat model (matching Section II of the paper): the perturbation ``delta``
+is applied to the *measurement only*.  At every step the controller observes
+``s(t) + delta(t)`` (bounded attack or noise), but the plant always evolves
+from the true state ``s(t)``.  Perturbations are injected through an optional
+callable so the same rollout code serves the clean, noisy and attacked
+evaluations; batched perturbations (``perturb_batch``) are used when the
+callable provides them, with a per-row fallback otherwise.
+
+``stop_on_violation`` semantics: when ``True`` (the default, and what every
+metric uses) a trajectory stops at the *first* unsafe state -- no further
+controls are applied, no further energy accrues, and in the batch engine the
+trajectory is masked out of all subsequent steps.  When ``False`` the rollout
+always runs the full horizon; ``safe`` still reports whether any visited
+state (including the initial one) left ``X`` and ``violation_step`` records
+the first offence.
 """
 
 from __future__ import annotations
@@ -20,15 +45,45 @@ from repro.systems.base import ControlSystem
 from repro.utils.seeding import RngLike, get_rng
 
 #: A controller maps the observed state to a (possibly unclipped) control.
+#: Controllers may additionally expose ``batch_control(states) -> controls``
+#: (mapping ``(N, state_dim)`` to ``(N, control_dim)``), which the batched
+#: engine uses when present instead of looping over rows.
 ControllerFn = Callable[[np.ndarray], np.ndarray]
 
 #: A perturbation maps the true state to the observed (perturbed) state.
+#: Perturbations may additionally expose ``perturb_batch(states, rng)``
+#: (mapping ``(N, state_dim)`` to ``(N, state_dim)``) for batched rollouts.
 PerturbationFn = Callable[[np.ndarray, np.random.Generator], np.ndarray]
 
 
 @dataclass
 class Trajectory:
-    """One closed-loop rollout: states, applied controls and safety flags."""
+    """One closed-loop rollout.
+
+    Attributes
+    ----------
+    states:
+        True plant states, shape ``(steps + 1, state_dim)``: the initial
+        state followed by one state per applied control.  When the rollout
+        stopped on a violation the last row is the first unsafe state.
+    controls:
+        Applied (clipped) controls, shape ``(steps, control_dim)``.
+    safe:
+        ``True`` iff every visited state (initial state included) stayed
+        inside the safe region ``X``.
+    steps:
+        Number of controls applied before the rollout ended (``horizon``
+        for a safe rollout, fewer when it stopped on a violation).
+    energy:
+        Accumulated 1-norm of the applied controls, Eq. (3)'s integrand.
+    violation_step:
+        Index of the first unsafe state (0 = unsafe initial state), or
+        ``None`` when the trajectory never left ``X``.
+    observed_states:
+        What the controller saw, shape ``(steps + 1, state_dim)``: the
+        initial state followed by the (possibly perturbed) observation used
+        at each step.  Row 0 is always the true initial state.
+    """
 
     states: np.ndarray
     controls: np.ndarray
@@ -42,6 +97,240 @@ class Trajectory:
         return self.steps
 
 
+@dataclass
+class TrajectoryBatch:
+    """A batch of ``N`` closed-loop rollouts advanced in lockstep.
+
+    Time-major per-trajectory arrays are padded to the longest rollout in
+    the batch (``T = max(steps)``); rows that stopped early are frozen at
+    their last value (states/observations) or zero (controls) beyond their
+    own ``steps``.  Use :meth:`trajectory` to slice out one member as a
+    scalar :class:`Trajectory`.
+    """
+
+    #: True states, shape ``(N, T + 1, state_dim)``.
+    states: np.ndarray
+    #: Applied controls, shape ``(N, T, control_dim)``.
+    controls: np.ndarray
+    #: Per-trajectory safety flag, shape ``(N,)`` bool.
+    safe: np.ndarray
+    #: Number of controls applied per trajectory, shape ``(N,)`` int.
+    steps: np.ndarray
+    #: Accumulated control energy per trajectory, shape ``(N,)``.
+    energy: np.ndarray
+    #: First unsafe step per trajectory (-1 = never unsafe), shape ``(N,)`` int.
+    violation_step: np.ndarray
+    #: Observed states, shape ``(N, T + 1, state_dim)``.
+    observed_states: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.safe)
+
+    @property
+    def num_safe(self) -> int:
+        return int(np.count_nonzero(self.safe))
+
+    @property
+    def safe_rate(self) -> float:
+        return self.num_safe / len(self)
+
+    def safe_energies(self) -> np.ndarray:
+        """Energies of the safe trajectories, in batch order."""
+
+        return self.energy[self.safe]
+
+    def trajectory(self, index: int) -> Trajectory:
+        """Extract member ``index`` as a scalar :class:`Trajectory`."""
+
+        count = int(self.steps[index])
+        violation = int(self.violation_step[index])
+        if self.states.shape[1] < count + 1:
+            raise ValueError(
+                "per-step histories were not recorded (rollout_batch(record_states=False))"
+            )
+        return Trajectory(
+            states=self.states[index, : count + 1].copy(),
+            controls=self.controls[index, :count].copy(),
+            safe=bool(self.safe[index]),
+            steps=count,
+            energy=float(self.energy[index]),
+            violation_step=None if violation < 0 else violation,
+            observed_states=(
+                self.observed_states[index, : count + 1].copy()
+                if self.observed_states is not None
+                else None
+            ),
+        )
+
+
+def batch_controls(controller: ControllerFn, states: np.ndarray) -> np.ndarray:
+    """Evaluate a controller on an ``(N, state_dim)`` batch of observations.
+
+    Uses the controller's ``batch_control`` method when available and falls
+    back to looping over rows; always returns shape ``(N, control_dim)``.
+    """
+
+    batch = getattr(controller, "batch_control", None)
+    if batch is not None:
+        return np.atleast_2d(np.asarray(batch(states), dtype=np.float64))
+    return np.stack(
+        [np.atleast_1d(np.asarray(controller(state), dtype=np.float64)) for state in states],
+        axis=0,
+    )
+
+
+def _perturbation_batch(
+    perturbation: PerturbationFn, states: np.ndarray, generator: np.random.Generator
+) -> np.ndarray:
+    """Perturb an ``(N, state_dim)`` batch of true states into observations."""
+
+    batch = getattr(perturbation, "perturb_batch", None)
+    if batch is not None:
+        return np.atleast_2d(np.asarray(batch(states, generator), dtype=np.float64))
+    return np.stack(
+        [
+            np.asarray(perturbation(state.copy(), generator), dtype=np.float64)
+            for state in states
+        ],
+        axis=0,
+    )
+
+
+def rollout_batch(
+    system: ControlSystem,
+    controller: ControllerFn,
+    initial_states: Sequence[Sequence[float]],
+    horizon: Optional[int] = None,
+    perturbation: Optional[PerturbationFn] = None,
+    rng: RngLike = None,
+    stop_on_violation: bool = True,
+    record_states: bool = True,
+) -> TrajectoryBatch:
+    """Simulate ``N`` closed loops in lockstep from the rows of ``initial_states``.
+
+    Each step performs one batched perturbation, one batched controller
+    evaluation, one batched control clip and one batched plant update for
+    every still-active trajectory; with ``stop_on_violation`` (the default)
+    trajectories leave the active set at their first unsafe state, so a batch
+    whose members all fail early terminates early too.
+
+    With ``N = 1`` this consumes the random stream exactly like the
+    historical scalar :func:`rollout` (perturbation draw, then disturbance
+    draw, each step), so seeded single-trajectory results are preserved
+    bit for bit.  For ``N > 1`` the stream is consumed step-major (all
+    members' draws at step ``t`` before any draw at ``t + 1``) instead of
+    trajectory-major, so individual trajectories differ from sequential
+    scalar rollouts on stochastic plants -- the Monte-Carlo estimates are
+    statistically equivalent.
+
+    Parameters
+    ----------
+    system:
+        The plant to control.
+    controller:
+        Maps the observed state to a control command; ``batch_control`` is
+        used when available.  Stateful controllers (e.g. PID) keep a single
+        internal state, which lockstep evaluation would interleave across
+        batch members -- roll those out one by one via :func:`rollout`.
+    initial_states:
+        Array-like of shape ``(N, state_dim)``.
+    horizon:
+        Number of control steps; defaults to ``system.horizon`` (the paper's
+        ``T``).
+    perturbation:
+        Optional attack/noise model applied to the measurement only (see the
+        module docstring for the threat model); ``perturb_batch`` is used
+        when available.
+    stop_on_violation:
+        Stop each trajectory at its first unsafe state (see module docstring).
+    record_states:
+        When ``False`` the per-step state/control/observation histories are
+        not stored (the returned arrays are empty); the scalar summaries
+        (``safe``, ``steps``, ``energy``, ``violation_step``) are unaffected.
+        Metric sweeps use this to avoid allocating ``(N, T, dim)`` arrays.
+    """
+
+    generator = get_rng(rng)
+    horizon = int(horizon) if horizon is not None else system.horizon
+    states = np.atleast_2d(np.asarray(initial_states, dtype=np.float64)).copy()
+    if states.shape[-1] != system.state_dim:
+        raise ValueError(
+            f"initial_states have shape {states.shape}, expected (N, {system.state_dim})"
+        )
+    count = len(states)
+
+    initially_safe = system.is_safe_batch(states)
+    safe = initially_safe.copy()
+    violation_step = np.where(initially_safe, -1, 0)
+    energy = np.zeros(count)
+    steps = np.zeros(count, dtype=int)
+    active = initially_safe.copy() if stop_on_violation else np.ones(count, dtype=bool)
+
+    if record_states:
+        states_history = np.empty((count, horizon + 1, system.state_dim))
+        states_history[:, 0] = states
+        observed_history = np.empty((count, horizon + 1, system.state_dim))
+        observed_history[:, 0] = states
+        controls_history = np.zeros((count, horizon, system.control_dim))
+
+    executed = 0
+    for step in range(horizon):
+        index = np.flatnonzero(active)
+        if index.size == 0:
+            break
+        executed = step + 1
+        current = states[index]
+
+        observations = current
+        if perturbation is not None:
+            observations = _perturbation_batch(perturbation, current, generator)
+        commands = batch_controls(controller, observations)
+        applied = system.clip_control_batch(commands)
+        energy[index] += np.sum(np.abs(applied), axis=1)
+        steps[index] += 1
+
+        disturbances = system.disturbance.sample_batch(generator, count=index.size)
+        next_states = system.dynamics_batch(current, applied, disturbances)
+        states[index] = next_states
+
+        if record_states:
+            # Frozen rows carry their previous value forward so padded slices
+            # stay well-defined; trajectory() trims them away.
+            states_history[:, step + 1] = states_history[:, step]
+            states_history[index, step + 1] = next_states
+            observed_history[:, step + 1] = observed_history[:, step]
+            observed_history[index, step + 1] = observations
+            controls_history[index, step] = applied
+
+        now_safe = system.is_safe_batch(next_states)
+        violated = index[~now_safe]
+        if violated.size:
+            safe[violated] = False
+            fresh = violated[violation_step[violated] < 0]
+            violation_step[fresh] = step + 1
+            if stop_on_violation:
+                active[violated] = False
+
+    if record_states:
+        states_out = states_history[:, : executed + 1]
+        observed_out = observed_history[:, : executed + 1]
+        controls_out = controls_history[:, :executed]
+    else:
+        states_out = np.zeros((count, 0, system.state_dim))
+        observed_out = np.zeros((count, 0, system.state_dim))
+        controls_out = np.zeros((count, 0, system.control_dim))
+
+    return TrajectoryBatch(
+        states=states_out,
+        controls=controls_out,
+        safe=safe,
+        steps=steps,
+        energy=energy,
+        violation_step=violation_step,
+        observed_states=observed_out,
+    )
+
+
 def rollout(
     system: ControlSystem,
     controller: ControllerFn,
@@ -51,69 +340,26 @@ def rollout(
     rng: RngLike = None,
     stop_on_violation: bool = True,
 ) -> Trajectory:
-    """Simulate the closed loop from ``initial_state`` for ``horizon`` steps.
+    """Simulate one closed loop from ``initial_state`` for ``horizon`` steps.
 
-    Parameters
-    ----------
-    system:
-        The plant to control.
-    controller:
-        Callable mapping the *observed* state to a control command; the plant
-        clips the command to its control bound before applying it.
-    initial_state:
-        Starting state, normally sampled from ``system.initial_set``.
-    horizon:
-        Number of control steps; defaults to ``system.horizon`` (the paper's
-        ``T``).
-    perturbation:
-        Optional attack/noise model applied to the state *before* it is shown
-        to the controller (the plant itself always evolves from the true
-        state), matching the paper's threat model where only the measurement
-        is perturbed.
-    stop_on_violation:
-        When ``True`` (the default and what the metrics use) the rollout stops
-        at the first unsafe state.
+    A thin ``N = 1`` wrapper over :func:`rollout_batch`; the random stream
+    consumption and the returned :class:`Trajectory` are identical to the
+    historical scalar implementation for the same seed.  See
+    :func:`rollout_batch` for the parameters and the module docstring for
+    the threat model and the ``stop_on_violation`` semantics.
     """
 
-    generator = get_rng(rng)
-    horizon = int(horizon) if horizon is not None else system.horizon
-    state = np.asarray(initial_state, dtype=np.float64).copy()
-
-    states = [state.copy()]
-    observed = [state.copy()]
-    controls: List[np.ndarray] = []
-    safe = system.is_safe(state)
-    violation_step: Optional[int] = None if safe else 0
-    energy = 0.0
-
-    if safe or not stop_on_violation:
-        for step in range(horizon):
-            observation = state
-            if perturbation is not None:
-                observation = np.asarray(perturbation(state.copy(), generator), dtype=np.float64)
-            observed.append(observation.copy())
-            command = np.atleast_1d(np.asarray(controller(observation), dtype=np.float64))
-            applied = system.clip_control(command)
-            controls.append(applied.copy())
-            energy += float(np.sum(np.abs(applied)))
-            state = system.step(state, applied, rng=generator)
-            states.append(state.copy())
-            if not system.is_safe(state):
-                safe = False
-                if violation_step is None:
-                    violation_step = step + 1
-                if stop_on_violation:
-                    break
-
-    return Trajectory(
-        states=np.asarray(states),
-        controls=np.asarray(controls) if controls else np.zeros((0, system.control_dim)),
-        safe=safe,
-        steps=len(controls),
-        energy=energy,
-        violation_step=violation_step,
-        observed_states=np.asarray(observed),
+    initial_state = np.asarray(initial_state, dtype=np.float64)
+    batch = rollout_batch(
+        system,
+        controller,
+        initial_state[None, :],
+        horizon=horizon,
+        perturbation=perturbation,
+        rng=rng,
+        stop_on_violation=stop_on_violation,
     )
+    return batch.trajectory(0)
 
 
 def sample_initial_states(system: ControlSystem, count: int, rng: RngLike = None) -> np.ndarray:
@@ -150,8 +396,17 @@ def evaluate_rollouts(
     perturbation: Optional[PerturbationFn] = None,
     horizon: Optional[int] = None,
     rng: RngLike = None,
+    batch_size: Optional[int] = None,
 ) -> EvaluationResult:
     """Roll out from every row of ``initial_states`` and aggregate Sr and e.
+
+    The rollouts run on the batched engine; ``batch_size`` caps how many
+    trajectories advance in lockstep at once (``None`` runs the whole sample
+    as a single batch, which is fastest; chunk when memory or perturbation
+    cost per step matters).  Stateful perturbations exposing ``reset()``
+    (e.g. the alternating FGSM attack's step counter) are reset before every
+    chunk, so each trajectory sees the attack phase as a function of its own
+    simulation time and the aggregate does not depend on ``batch_size``.
 
     Following Property 2 of the paper, the energy average is taken over the
     *safe* trajectories only (the safe initial state set ``X'``); if no
@@ -160,21 +415,29 @@ def evaluate_rollouts(
 
     generator = get_rng(rng)
     initial_states = np.atleast_2d(np.asarray(initial_states, dtype=np.float64))
+    total = len(initial_states)
+    if batch_size is not None and batch_size <= 0:
+        raise ValueError("batch_size must be positive (or None for one batch)")
+    chunk = total if batch_size is None else min(batch_size, total)
+    reset_perturbation = getattr(perturbation, "reset", None)
+
     num_safe = 0
     safe_energies: List[float] = []
-    for initial_state in initial_states:
-        trajectory = rollout(
+    for start in range(0, total, chunk):
+        if reset_perturbation is not None:
+            reset_perturbation()
+        batch = rollout_batch(
             system,
             controller,
-            initial_state,
+            initial_states[start : start + chunk],
             horizon=horizon,
             perturbation=perturbation,
             rng=generator,
+            record_states=False,
         )
-        if trajectory.safe:
-            num_safe += 1
-            safe_energies.append(trajectory.energy)
-    total = len(initial_states)
+        num_safe += batch.num_safe
+        safe_energies.extend(float(value) for value in batch.safe_energies())
+
     mean_energy = float(np.mean(safe_energies)) if safe_energies else float("inf")
     return EvaluationResult(
         safe_rate=num_safe / total,
@@ -192,13 +455,20 @@ def safe_control_rate(
     perturbation: Optional[PerturbationFn] = None,
     horizon: Optional[int] = None,
     rng: RngLike = None,
+    batch_size: Optional[int] = None,
 ) -> float:
     """Monte-Carlo estimate of the safe control rate Sr (Property 1)."""
 
     generator = get_rng(rng)
     initial_states = sample_initial_states(system, samples, rng=generator)
     result = evaluate_rollouts(
-        system, controller, initial_states, perturbation=perturbation, horizon=horizon, rng=generator
+        system,
+        controller,
+        initial_states,
+        perturbation=perturbation,
+        horizon=horizon,
+        rng=generator,
+        batch_size=batch_size,
     )
     return result.safe_rate
 
@@ -210,12 +480,19 @@ def control_energy(
     perturbation: Optional[PerturbationFn] = None,
     horizon: Optional[int] = None,
     rng: RngLike = None,
+    batch_size: Optional[int] = None,
 ) -> float:
     """Monte-Carlo estimate of the control energy e (Property 2)."""
 
     generator = get_rng(rng)
     initial_states = sample_initial_states(system, samples, rng=generator)
     result = evaluate_rollouts(
-        system, controller, initial_states, perturbation=perturbation, horizon=horizon, rng=generator
+        system,
+        controller,
+        initial_states,
+        perturbation=perturbation,
+        horizon=horizon,
+        rng=generator,
+        batch_size=batch_size,
     )
     return result.mean_energy

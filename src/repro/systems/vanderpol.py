@@ -51,3 +51,17 @@ class VanDerPolOscillator(ControlSystem):
         next_s1 = s1 + self.dt * s2
         next_s2 = s2 + self.dt * ((1.0 - s1**2) * self.mu * s2 - s1 + u) + omega
         return np.array([next_s1, next_s2])
+
+    def dynamics_batch(
+        self, states: np.ndarray, controls: np.ndarray, disturbances: np.ndarray
+    ) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        controls = np.atleast_2d(np.asarray(controls, dtype=np.float64))
+        disturbances = np.atleast_2d(np.asarray(disturbances, dtype=np.float64))
+        s1 = states[:, 0]
+        s2 = states[:, 1]
+        u = controls[:, 0]
+        omega = disturbances[:, 0] if disturbances.shape[-1] else np.zeros(len(states))
+        next_s1 = s1 + self.dt * s2
+        next_s2 = s2 + self.dt * ((1.0 - s1**2) * self.mu * s2 - s1 + u) + omega
+        return np.stack([next_s1, next_s2], axis=1)

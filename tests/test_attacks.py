@@ -103,12 +103,17 @@ class TestFGSM:
 
     def test_attack_degrades_safe_rate(self, vanderpol):
         # A mediocre linear controller should lose measurable safety under a
-        # strong FGSM attack on its measurements.
+        # strong FGSM attack on its measurements.  The opposing direction
+        # (making the controller under-react) is the harmful one against a
+        # weak stabilising controller; the alternating attack nets out close
+        # to the clean rate on this plant.
         controller = LinearStateFeedback([[0.4, 0.6]])
         clean = safe_control_rate(vanderpol, controller, samples=80, rng=0)
-        attack = FGSMAttack(controller, perturbation_budget(vanderpol, 0.15))
+        attack = FGSMAttack(
+            controller, perturbation_budget(vanderpol, 0.15), alternate=False, maximize_control=False
+        )
         attacked = safe_control_rate(vanderpol, controller, samples=80, perturbation=attack, rng=0)
-        assert attacked <= clean
+        assert attacked < clean
 
 
 class TestAdversaries:

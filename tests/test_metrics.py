@@ -27,9 +27,12 @@ class TestRobustnessMetric:
         assert set(result.as_dict()) == {"safe_rate", "mean_energy", "perturbation", "samples"}
 
     def test_noise_degrades_or_matches_clean(self, vanderpol):
+        # Zero-mean measurement noise must not meaningfully help this weak
+        # controller; 400 batched rollouts keep the Monte-Carlo tie inside
+        # the 0.05 slack.
         controller = LinearStateFeedback([[0.4, 0.6]])
-        clean = evaluate_robustness(vanderpol, controller, perturbation="none", samples=80, rng=0)
-        noisy = evaluate_robustness(vanderpol, controller, perturbation="noise", fraction=0.15, samples=80, rng=0)
+        clean = evaluate_robustness(vanderpol, controller, perturbation="none", samples=400, rng=0)
+        noisy = evaluate_robustness(vanderpol, controller, perturbation="noise", fraction=0.15, samples=400, rng=0)
         assert noisy.safe_rate <= clean.safe_rate + 0.05
 
     def test_attack_perturbation_mode(self, vanderpol, vanderpol_experts):
