@@ -1,18 +1,22 @@
 # Developer entry points.  `test` wraps the tier-1 verification command used
 # by CI and the roadmap; `bench` regenerates the paper's tables/figures at
-# the quick scale; `lint` is a fast syntax gate (no third-party linter is
-# vendored into the image).
+# the quick scale; `verify-bench` re-times the scalar-vs-batched
+# verification engines and refreshes the committed CSV; `lint` is a fast
+# syntax gate (no third-party linter is vendored into the image).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench lint
+.PHONY: test bench verify-bench lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	REPRO_SCALE=$${REPRO_SCALE:-quick} $(PYTHON) -m pytest -q benchmarks
+
+verify-bench:
+	REPRO_RECORD=1 $(PYTHON) -m pytest -q -s benchmarks/test_verification_speed.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -1,0 +1,160 @@
+"""Micro-benchmark: batched vs. scalar verification-engine throughput.
+
+The paper's verifiability claim is a *wall-clock* claim, so the speed of the
+verification stack bounds how many (controller, system) combinations the
+benchmarks can afford to verify.  This harness runs the same 2-controller x
+3-system sweep through both engines -- the one-box-at-a-time
+``engine="scalar"`` flow and the vectorised ``engine="batched"`` one -- and
+
+* asserts the two engines agree **bit for bit** on every deterministic
+  result (partitions, epsilon, verdicts, work counts: the scalar path is
+  the batch-of-one special case of the same kernels);
+* records the per-job and total timings to
+  ``results/verification_speed.csv`` so future PRs can track the
+  trajectory;
+* asserts the batched engine keeps at least the 3x end-to-end advantage
+  this PR landed with (observed ~8-11x on one core).
+
+The baseline is *conservative*: ``engine="scalar"`` keeps the historical
+per-box/per-cell orchestration but runs it through the shared fixed-block
+kernels, which are already several times faster than the pre-refactor
+per-sub-box Python loops (measured ~14x at the refined-IBP step).  The
+recorded speedup therefore understates the gain over the literal
+historical code.
+
+The two controllers per system mimic the paper's pair: a distilled student
+(LQR regression) and a higher-Lipschitz variant of it, whose verification
+is measurably more expensive -- the partition counts in the CSV show the
+mechanism.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, functional
+from repro.experts.lqr import LQRController
+from repro.nn.network import MLP
+from repro.nn.optim import Adam
+from repro.systems import make_system
+from repro.verification.sweep import SweepJob, VerificationSweep
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "results"
+
+MIN_SPEEDUP = 3.0
+
+#: Deterministic summary fields both engines must reproduce exactly.
+DETERMINISTIC_KEYS = (
+    "controller", "lipschitz", "partitions", "epsilon", "verified",
+    "reach_status", "reach_work", "reach_steps", "invariant_fraction", "invariant_work",
+)
+
+#: Per-system analysis budgets: moderate partition counts, a short reach
+#: horizon, and (on the cheap low-dimensional plants) an invariant grid.
+SWEEP_CONFIG = {
+    "vanderpol": dict(target_error=0.45, degree=3, reach_steps=10, invariant_grid=12),
+    "3d": dict(target_error=0.45, degree=2, reach_steps=10, invariant_grid=6),
+    "cartpole": dict(target_error=0.6, degree=2, reach_steps=8, invariant_grid=None),
+}
+
+
+def _distilled_student(system, seed=0, scale=1.0):
+    """A small student regressed onto an LQR teacher (deterministic).
+
+    ``scale > 1`` inflates the weights, raising the Lipschitz constant the
+    way a non-robust distillation would -- the second controller of the
+    sweep.
+    """
+
+    teacher = LQRController(system, control_cost=1.0)
+    rng = np.random.default_rng(seed)
+    states = system.safe_region.sample(rng, count=600)
+    controls = teacher.batch_control(states)
+    network = MLP(system.state_dim, system.control_dim, hidden_sizes=(12, 12), activation="tanh", seed=seed)
+    optimizer = Adam(network.parameters(), lr=5e-3)
+    for _ in range(150):
+        optimizer.zero_grad()
+        loss = functional.mse_loss(network(Tensor(states)), controls)
+        loss.backward()
+        optimizer.step()
+    if scale != 1.0:
+        for layer in network.linear_layers():
+            layer.weight.data *= scale
+    return network
+
+
+def _build_jobs():
+    jobs = []
+    for name, config in SWEEP_CONFIG.items():
+        system = make_system(name)
+        for label, scale in (("robust", 1.0), ("direct", 1.35)):
+            network = _distilled_student(system, seed=0, scale=scale)
+            jobs.append(
+                SweepJob.from_network(f"{label}@{name}", name, network, max_partitions=2048, **config)
+            )
+    return jobs
+
+
+def test_verification_sweep_speedup():
+    jobs = _build_jobs()
+
+    start = time.perf_counter()
+    scalar = VerificationSweep(jobs, processes=1, engine="scalar").run()
+    scalar_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = VerificationSweep(jobs, processes=1, engine="batched").run()
+    batched_seconds = time.perf_counter() - start
+    speedup = scalar_seconds / batched_seconds
+
+    # Both engines must be bit-identical on every deterministic result.
+    for scalar_result, batched_result in zip(scalar.results, batched.results):
+        assert scalar_result.status == batched_result.status == "ok", scalar_result
+        for key in DETERMINISTIC_KEYS:
+            assert scalar_result.summary.get(key) == batched_result.summary.get(key), (
+                f"{scalar_result.name}: engines disagree on {key!r}"
+            )
+
+    # The CSV is a committed record of the trajectory across PRs; refresh an
+    # existing file only on demand (REPRO_RECORD=1) so routine test runs that
+    # jitter the timings do not dirty the working tree, but always write it
+    # when missing (e.g. when regenerating from scratch).
+    record = os.environ.get("REPRO_RECORD", "") not in ("", "0")
+    csv_path = OUTPUT_DIR / "verification_speed.csv"
+    if record or not csv_path.exists():
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        lines = ["job,system,partitions,reach_status,scalar_seconds,batched_seconds,speedup\n"]
+        for scalar_result, batched_result in zip(scalar.results, batched.results):
+            lines.append(
+                f"{scalar_result.name},{scalar_result.system},"
+                f"{scalar_result.summary.get('partitions')},{scalar_result.summary.get('reach_status')},"
+                f"{scalar_result.elapsed_seconds:.6f},{batched_result.elapsed_seconds:.6f},"
+                f"{scalar_result.elapsed_seconds / max(batched_result.elapsed_seconds, 1e-12):.2f}\n"
+            )
+        lines.append(f"total,all,,,{scalar_seconds:.6f},{batched_seconds:.6f},{speedup:.2f}\n")
+        csv_path.write_text("".join(lines))
+
+    print(
+        f"\nverification sweep ({len(jobs)} jobs): scalar {scalar_seconds:.2f}s, "
+        f"batched {batched_seconds:.2f}s -> {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched verification only {speedup:.1f}x faster than scalar "
+        f"(floor is {MIN_SPEEDUP}x)"
+    )
+
+
+def test_higher_lipschitz_verifies_slower():
+    """The paper's mechanism, now cheap enough to assert in a benchmark run:
+    the inflated-weight controller needs at least as many partitions."""
+
+    jobs = _build_jobs()
+    report = VerificationSweep(jobs, processes=1, engine="batched").run()
+    by_name = {result.name: result.summary for result in report.results}
+    for name in SWEEP_CONFIG:
+        assert by_name[f"direct@{name}"]["partitions"] >= by_name[f"robust@{name}"]["partitions"]
+        assert by_name[f"direct@{name}"]["lipschitz"] > by_name[f"robust@{name}"]["lipschitz"]

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three sub-commands cover the daily workflow of the reproduction:
+Four sub-commands cover the daily workflow of the reproduction:
 
 ``train``
     Run the full Cocktail pipeline (Algorithm 1) on one of the three test
@@ -13,6 +13,13 @@ Three sub-commands cover the daily workflow of the reproduction:
 ``verify``
     Run the Bernstein/interval verification analyses (reachability and/or
     invariant set) on a saved student controller and report the timing.
+
+``verify-sweep``
+    Verify many saved controllers at once: expand a job matrix from one or
+    more ``--spec system:dir[:controller]`` entries (or a single
+    ``--system``/``--controller-dir`` pair), fan the jobs out across a
+    process pool (``--jobs``) running the batched verification engine, and
+    print an aggregated report (optionally written to ``--csv``).
 """
 
 from __future__ import annotations
@@ -34,7 +41,6 @@ from repro import (
 )
 from repro.metrics import evaluate_controllers, evaluate_robustness
 from repro.metrics.evaluation import metrics_to_table
-from repro.systems.sets import Box
 from repro.utils.persistence import load_student_controller, save_cocktail_result
 from repro.verification import verify_controller
 
@@ -84,6 +90,48 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--reach-steps", type=int, default=15)
     verify.add_argument("--reach-box-scale", type=float, default=0.1, help="initial reach box as a fraction of X0")
     verify.add_argument("--invariant-grid", type=int, default=0, help="0 disables the invariant-set analysis")
+    verify.add_argument(
+        "--engine",
+        default="batched",
+        choices=["batched", "scalar"],
+        help="'batched' runs the vectorized engine; 'scalar' the historical one-box-at-a-time flow",
+    )
+
+    sweep = subparsers.add_parser(
+        "verify-sweep", help="verify many saved controllers across a process pool"
+    )
+    sweep.add_argument(
+        "--spec",
+        action="append",
+        default=None,
+        metavar="SYSTEM:DIR[:CONTROLLER]",
+        help="one verification job source; repeatable; omitting CONTROLLER expands to every "
+        "controller recorded in DIR (kappa_star and, when present, kappaD)",
+    )
+    sweep.add_argument("--system", default=None, choices=["vanderpol", "3d", "cartpole"],
+                       help="shorthand for a single --spec entry (with --controller-dir)")
+    sweep.add_argument("--controller-dir", type=Path, default=None,
+                       help="controller directory for the --system shorthand")
+    sweep.add_argument("--jobs", type=int, default=0,
+                       help="worker processes for the sweep pool (0 = one per job, capped at the CPU count)")
+    sweep.add_argument("--target-error", type=float, default=0.5)
+    sweep.add_argument("--degree", type=int, default=3)
+    sweep.add_argument("--max-partitions", type=int, default=2048)
+    sweep.add_argument("--reach-steps", type=int, default=15, help="reachability horizon per job")
+    sweep.add_argument("--reach-box-scale", type=float, default=0.1, help="initial reach box as a fraction of X0")
+    sweep.add_argument("--invariant-grid", type=int, default=0, help="0 disables the invariant-set analysis")
+    sweep.add_argument("--work-budget", type=int, default=0,
+                       help="per-job reachability work budget in Bernstein coefficients (0 = unbounded); "
+                       "exceeding it aborts with status 'resource-exhausted'")
+    sweep.add_argument("--time-budget", type=float, default=0.0,
+                       help="per-job wall-clock budget in seconds, checked at phase boundaries (0 = unbounded)")
+    sweep.add_argument(
+        "--engine",
+        default="batched",
+        choices=["batched", "scalar"],
+        help="'batched' runs the vectorized engine; 'scalar' the historical one-box-at-a-time flow",
+    )
+    sweep.add_argument("--csv", type=Path, default=None, help="write one CSV row per job to this path")
 
     return parser
 
@@ -145,10 +193,7 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 def _command_verify(args: argparse.Namespace) -> int:
     system = make_system(args.system)
     controller = load_student_controller(args.controller_dir, name=args.controller)
-    reach_box = Box(
-        system.initial_set.center - args.reach_box_scale * system.initial_set.widths / 2.0,
-        system.initial_set.center + args.reach_box_scale * system.initial_set.widths / 2.0,
-    )
+    reach_box = system.initial_set.scale(args.reach_box_scale)
     report = verify_controller(
         system,
         controller.network,
@@ -159,10 +204,77 @@ def _command_verify(args: argparse.Namespace) -> int:
         reach_initial_box=reach_box,
         reach_steps=args.reach_steps,
         invariant_grid=args.invariant_grid or None,
+        engine=args.engine,
     )
     for key, value in report.summary().items():
         print(f"{key:20s}: {value}")
     return 0
+
+
+def _expand_sweep_specs(args: argparse.Namespace) -> list:
+    """Turn ``--spec``/``--system`` arguments into a list of SweepJobs."""
+
+    import json
+
+    from repro.verification.sweep import SweepJob
+
+    specs = list(args.spec or [])
+    if args.system is not None or args.controller_dir is not None:
+        if args.system is None or args.controller_dir is None:
+            raise SystemExit("--system and --controller-dir must be given together")
+        specs.append(f"{args.system}:{args.controller_dir}")
+    if not specs:
+        raise SystemExit("verify-sweep needs at least one --spec (or --system/--controller-dir)")
+
+    parameters = dict(
+        target_error=args.target_error,
+        degree=args.degree,
+        max_partitions=args.max_partitions,
+        reach_steps=args.reach_steps,
+        reach_box_scale=args.reach_box_scale,
+        invariant_grid=args.invariant_grid or None,
+        work_budget=args.work_budget or None,
+        time_budget_seconds=args.time_budget or None,
+    )
+    jobs = []
+    for spec in specs:
+        pieces = spec.split(":")
+        if len(pieces) == 2:
+            system, directory = pieces
+            record_path = Path(directory) / "record.json"
+            try:
+                with record_path.open() as handle:
+                    controllers = sorted(json.load(handle).get("controllers", {}))
+            except OSError as error:
+                raise SystemExit(f"cannot read {record_path}: {error}")
+            except json.JSONDecodeError as error:
+                raise SystemExit(f"corrupt record {record_path}: {error}")
+            if not controllers:
+                raise SystemExit(f"{record_path} records no controllers")
+        elif len(pieces) == 3:
+            system, directory = pieces[0], pieces[1]
+            controllers = [pieces[2]]
+        else:
+            raise SystemExit(f"bad --spec {spec!r}; expected SYSTEM:DIR[:CONTROLLER]")
+        for controller in controllers:
+            try:
+                jobs.append(SweepJob.from_saved(system, directory, controller=controller, **parameters))
+            except (OSError, KeyError) as error:
+                raise SystemExit(f"cannot load controller {controller!r} from {directory}: {error}")
+    return jobs
+
+
+def _command_verify_sweep(args: argparse.Namespace) -> int:
+    from repro.verification.sweep import VerificationSweep
+
+    jobs = _expand_sweep_specs(args)
+    sweep = VerificationSweep(jobs, processes=args.jobs or None, engine=args.engine)
+    report = sweep.run()
+    print(report.table())
+    if args.csv is not None:
+        path = report.to_csv(args.csv)
+        print(f"wrote per-job records to {path}")
+    return 0 if report.num_failed == 0 else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -175,6 +287,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_evaluate(args)
     if args.command == "verify":
         return _command_verify(args)
+    if args.command == "verify-sweep":
+        return _command_verify_sweep(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
 
 

@@ -12,16 +12,45 @@ Two estimators are provided:
 * :func:`empirical_lipschitz` -- a sampling-based lower bound (max local
   gradient norm over sampled input pairs), useful for sanity-checking that
   the analytic bound moves in the same direction.
+
+:func:`network_lipschitz` memoises its result keyed by a digest of the
+weight bytes: the verification engine asks for the same network's constant
+repeatedly (partitioning, error bounds, reports, every sweep job), and the
+power iterations dominate hashing a few kilobytes of weights by orders of
+magnitude.  The cache is invalidated automatically by any weight update,
+because the digest changes.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
 
 from repro.nn.layers import Activation, Linear
 from repro.nn.network import MLP
+
+_LIPSCHITZ_CACHE: "OrderedDict[bytes, float]" = OrderedDict()
+_LIPSCHITZ_CACHE_MAX_ENTRIES = 256
+
+
+def _weights_digest(network: MLP) -> bytes:
+    """Digest of all layer parameters (weights change => digest changes)."""
+
+    hasher = hashlib.blake2b(digest_size=16)
+    for layer in network.layers:
+        if isinstance(layer, Linear):
+            # Shapes disambiguate networks whose concatenated parameter
+            # bytes coincide but are partitioned into different layers.
+            hasher.update(repr(layer.weight.data.shape).encode("utf-8"))
+            hasher.update(np.ascontiguousarray(layer.weight.data).tobytes())
+            hasher.update(repr(layer.bias.data.shape).encode("utf-8"))
+            hasher.update(np.ascontiguousarray(layer.bias.data).tobytes())
+        elif isinstance(layer, Activation):
+            hasher.update(b"|" + layer.name.encode("utf-8") + b"|")
+    return hasher.digest()
 
 
 def spectral_norm(matrix: np.ndarray, iterations: int = 64, seed: Optional[int] = 0) -> float:
@@ -61,16 +90,30 @@ def layer_lipschitz(layer: Linear) -> float:
     return spectral_norm(layer.weight.data)
 
 
-def network_lipschitz(network: MLP) -> float:
-    """Product-of-layer-norms Lipschitz bound from the paper's footnote 1."""
+def network_lipschitz(network: MLP, use_cache: bool = True) -> float:
+    """Product-of-layer-norms Lipschitz bound from the paper's footnote 1.
 
+    Memoised on a digest of the current weights (see the module docstring);
+    pass ``use_cache=False`` to force recomputation.
+    """
+
+    if use_cache:
+        digest = _weights_digest(network)
+        cached = _LIPSCHITZ_CACHE.get(digest)
+        if cached is not None:
+            return cached
     constant = 1.0
     for layer in network.layers:
         if isinstance(layer, Linear):
             constant *= layer_lipschitz(layer)
         elif isinstance(layer, Activation):
             constant *= layer.lipschitz_constant
-    return float(constant)
+    constant = float(constant)
+    if use_cache:
+        _LIPSCHITZ_CACHE[digest] = constant
+        while len(_LIPSCHITZ_CACHE) > _LIPSCHITZ_CACHE_MAX_ENTRIES:
+            _LIPSCHITZ_CACHE.popitem(last=False)
+    return constant
 
 
 def empirical_lipschitz(

@@ -13,23 +13,64 @@ are not available offline, so this package implements the same chain with
 interval arithmetic: the qualitative dependence the paper exploits -- a
 larger Lipschitz constant forces finer partitions / higher polynomial degree
 and therefore longer verification time -- is preserved (see DESIGN.md).
+
+The hot path is **batched and parallel**: Bernstein coefficients, error
+bounds and IBP enclosures for whole stacks of boxes are computed with a few
+NumPy kernels (``engine="batched"``, the default), whole refinement
+frontiers are split per iteration, and many (controller, system) jobs fan
+out across processes via :class:`VerificationSweep`.  The historical
+one-box-at-a-time flow is kept as ``engine="scalar"``; both engines are
+bit-identical (see ``docs/verification.md``).
 """
 
-from repro.verification.intervals import Interval
-from repro.verification.bernstein import BernsteinApproximation, bernstein_error_bound
+from repro.verification.intervals import (
+    Interval,
+    network_output_bounds,
+    network_output_bounds_batch,
+    refined_network_output_bounds,
+    refined_network_output_bounds_batch,
+)
+from repro.verification.bernstein import (
+    BernsteinApproximation,
+    CoefficientCache,
+    bernstein_coefficients_batch,
+    bernstein_enclosure_batch,
+    bernstein_error_bound,
+    bernstein_error_bound_batch,
+    bernstein_evaluate_batch,
+    bernstein_grid_batch,
+)
 from repro.verification.partition import PartitionedApproximation, partition_network
-from repro.verification.system_models import interval_dynamics
+from repro.verification.system_models import interval_dynamics, interval_dynamics_batch
 from repro.verification.reachability import ReachabilityResult, reachable_sets, verify_reach_safety
 from repro.verification.invariant import InvariantSetResult, compute_invariant_set
 from repro.verification.verifier import VerificationReport, verify_controller
+from repro.verification.sweep import (
+    SweepJob,
+    SweepJobResult,
+    SweepReport,
+    VerificationSweep,
+    run_sweep_job,
+)
 
 __all__ = [
     "Interval",
+    "network_output_bounds",
+    "network_output_bounds_batch",
+    "refined_network_output_bounds",
+    "refined_network_output_bounds_batch",
     "BernsteinApproximation",
+    "CoefficientCache",
+    "bernstein_coefficients_batch",
+    "bernstein_enclosure_batch",
     "bernstein_error_bound",
+    "bernstein_error_bound_batch",
+    "bernstein_evaluate_batch",
+    "bernstein_grid_batch",
     "PartitionedApproximation",
     "partition_network",
     "interval_dynamics",
+    "interval_dynamics_batch",
     "ReachabilityResult",
     "reachable_sets",
     "verify_reach_safety",
@@ -37,4 +78,9 @@ __all__ = [
     "compute_invariant_set",
     "VerificationReport",
     "verify_controller",
+    "SweepJob",
+    "SweepJobResult",
+    "SweepReport",
+    "VerificationSweep",
+    "run_sweep_job",
 ]

@@ -16,12 +16,23 @@ this useful for verification:
 * **range enclosure** -- the polynomial's value over the box lies between the
   minimum and maximum coefficient, giving cheap control-output bounds for
   the reachability step.
+
+The module is organised around **batched kernels** that operate on a
+``(num_partitions, ...)`` stacked representation: grids, coefficients, error
+bounds, range enclosures and evaluations for a whole stack of boxes are
+computed with a handful of NumPy calls (one network forward pass for all
+grids).  :class:`BernsteinApproximation` is the single-box view: its fit is
+the batch-of-one special case of the same kernels, so scalar and batched
+verification engines produce bit-identical coefficients.
+:class:`CoefficientCache` memoises coefficient tensors keyed by box, so a
+box revisited during refinement or repeated reachability queries is never
+refit.
 """
 
 from __future__ import annotations
 
-from itertools import product
-from typing import Callable, Optional, Sequence, Union
+from collections import OrderedDict
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy.special import comb
@@ -29,7 +40,7 @@ from scipy.special import comb
 from repro.nn.lipschitz import network_lipschitz
 from repro.nn.network import MLP
 from repro.systems.sets import Box
-from repro.verification.intervals import Interval
+from repro.verification.intervals import Interval, apply_row_blocked
 
 FunctionLike = Union[MLP, Callable[[np.ndarray], np.ndarray]]
 
@@ -42,6 +53,25 @@ def bernstein_error_bound(lipschitz_constant: float, box: Box, degrees: Sequence
         raise ValueError("degrees must be at least 1")
     widths = box.widths
     return float(0.5 * lipschitz_constant * np.sqrt(np.sum(widths**2 / degrees)))
+
+
+def bernstein_error_bound_batch(
+    lipschitz_constant: float, lows: np.ndarray, highs: np.ndarray, degrees: Sequence[int]
+) -> np.ndarray:
+    """Error bounds for a ``(P, dim)`` stack of boxes, shape ``(P,)``.
+
+    Row ``p`` equals ``bernstein_error_bound(L, Box(lows[p], highs[p]),
+    degrees)`` bit for bit: the arithmetic is identical, only vectorised
+    across the partition axis.
+    """
+
+    degrees = np.asarray(degrees, dtype=np.float64)
+    if np.any(degrees < 1):
+        raise ValueError("degrees must be at least 1")
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    widths = highs - lows
+    return 0.5 * lipschitz_constant * np.sqrt(np.sum(widths**2 / degrees, axis=-1))
 
 
 def degrees_for_error(lipschitz_constant: float, box: Box, target_error: float, max_degree: int = 64) -> np.ndarray:
@@ -60,8 +90,213 @@ def degrees_for_error(lipschitz_constant: float, box: Box, target_error: float, 
     return np.full(box.dimension, degree, dtype=int)
 
 
+# ----------------------------------------------------------------------
+# Batched kernels on the (num_partitions, ...) stacked representation
+# ----------------------------------------------------------------------
+
+
+def _normalised_degrees(degrees: Union[int, Sequence[int]], dimension: int) -> np.ndarray:
+    degrees = np.atleast_1d(np.asarray(degrees, dtype=int))
+    if degrees.size == 1:
+        degrees = np.full(dimension, int(degrees[0]))
+    if degrees.size != dimension:
+        raise ValueError("one degree per input dimension is required")
+    if np.any(degrees < 1):
+        raise ValueError("degrees must be at least 1")
+    return degrees
+
+
+def bernstein_grid_batch(lows: np.ndarray, highs: np.ndarray, degrees: Sequence[int]) -> np.ndarray:
+    """Coefficient grids for a ``(P, dim)`` box stack, shape ``(P, G, dim)``.
+
+    ``G = prod(degrees + 1)`` points per box, in the same ``ij`` meshgrid
+    order (and with the same per-axis ``linspace`` arithmetic) as the
+    single-box grid, so row ``p`` reproduces ``Box(lows[p], highs[p])``'s
+    scalar grid exactly.
+    """
+
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    dimension = lows.shape[1]
+    degrees = _normalised_degrees(degrees, dimension)
+    axes = [
+        np.linspace(lows[:, axis], highs[:, axis], int(degree) + 1, axis=-1)
+        for axis, degree in enumerate(degrees)
+    ]  # per axis: (P, degree + 1)
+    index_grid = np.stack(
+        np.meshgrid(*[np.arange(int(degree) + 1) for degree in degrees], indexing="ij"), axis=-1
+    ).reshape(-1, dimension)  # (G, dim)
+    return np.stack(
+        [axes[axis][:, index_grid[:, axis]] for axis in range(dimension)], axis=-1
+    )  # (P, G, dim)
+
+
+def _evaluate_function_batch(function: FunctionLike, points: np.ndarray) -> np.ndarray:
+    """Evaluate ``function`` on a flat ``(N, dim)`` point array -> ``(N, out)``.
+
+    MLPs are evaluated through :func:`apply_row_blocked` so the forward pass
+    runs in fixed-width blocks: the coefficients of a box are then identical
+    whether it was fitted alone or stacked with any number of others.
+    """
+
+    if isinstance(function, MLP):
+        return np.atleast_2d(apply_row_blocked(function.predict, points))
+    return np.atleast_2d(np.stack([np.atleast_1d(function(point)) for point in points], axis=0))
+
+
+def bernstein_coefficients_batch(
+    function: FunctionLike, lows: np.ndarray, highs: np.ndarray, degrees: Sequence[int]
+) -> np.ndarray:
+    """Coefficient tensors for a box stack, shape ``(P, *degrees + 1, out)``.
+
+    All ``P`` grids are evaluated with a *single* forward pass through the
+    function (one stacked ``(P * G, dim)`` batch for an MLP), which is the
+    core speedup of the batched verification engine over fitting one
+    partition at a time.
+    """
+
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    count, dimension = lows.shape
+    degrees = _normalised_degrees(degrees, dimension)
+    grids = bernstein_grid_batch(lows, highs, degrees)
+    flat = grids.reshape(-1, dimension)
+    values = _evaluate_function_batch(function, flat)
+    shape = (count,) + tuple(int(degree) + 1 for degree in degrees) + (values.shape[-1],)
+    return values.reshape(shape)
+
+
+def bernstein_enclosure_batch(
+    coefficients: np.ndarray, errors: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Range enclosures from a ``(P, *degrees + 1, out)`` coefficient stack.
+
+    Returns ``(lower, upper)`` of shape ``(P, out)``: the per-box
+    coefficient min/max, inflated by the per-box approximation ``errors``
+    when given.
+    """
+
+    count = coefficients.shape[0]
+    flat = coefficients.reshape(count, -1, coefficients.shape[-1])
+    lower = flat.min(axis=1)
+    upper = flat.max(axis=1)
+    if errors is not None:
+        errors = np.asarray(errors, dtype=np.float64).reshape(count, 1)
+        lower = lower - errors
+        upper = upper + errors
+    return lower, upper
+
+
+def bernstein_evaluate_batch(
+    coefficients: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    degrees: Sequence[int],
+    points: np.ndarray,
+) -> np.ndarray:
+    """Evaluate box ``p``'s polynomial at ``points[p]``, shape ``(P, out)``.
+
+    Contracts one axis of the stacked coefficient tensor per input
+    dimension against the batched Bernstein basis -- ``dim`` einsum calls
+    for the whole stack instead of ``P`` scalar de-Casteljau loops.
+    """
+
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    degrees = _normalised_degrees(degrees, lows.shape[1])
+    widths = highs - lows
+    widths = np.where(widths == 0.0, 1.0, widths)
+    t = np.clip((points - lows) / widths, 0.0, 1.0)
+    result = coefficients
+    for axis, degree in enumerate(degrees):
+        ks = np.arange(int(degree) + 1)
+        t_axis = t[:, axis : axis + 1]
+        basis = comb(int(degree), ks) * (t_axis**ks) * ((1.0 - t_axis) ** (int(degree) - ks))
+        result = np.einsum("pk,pk...->p...", basis, result)
+    return result
+
+
+class CoefficientCache:
+    """Memoises Bernstein coefficient tensors keyed by (box, degrees).
+
+    During refinement and reachability the same box is queried repeatedly --
+    most prominently when a reach box covers a whole partition, so the
+    "local" fit over the overlap *is* the partition's fit.  The cache keys
+    on the exact bound bytes, fits only the missing boxes (in one stacked
+    network evaluation) and keeps a bounded FIFO of tensors.
+    """
+
+    def __init__(self, function: FunctionLike, max_entries: int = 65536):
+        self._function = function
+        self._store: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    def _function_tag(self) -> bytes:
+        """Identity of the fitted function, folded into every key.
+
+        For an MLP this is a digest of the current weights, so sharing a
+        cache across networks -- or mutating a network's weights between
+        partitionings -- can never serve another function's coefficients.
+        Recomputed per batch: hashing a few kilobytes is negligible next to
+        a fit.  Non-MLP callables are keyed by object identity.
+        """
+
+        if isinstance(self._function, MLP):
+            from repro.nn.lipschitz import _weights_digest
+
+            return _weights_digest(self._function)
+        return repr(id(self._function)).encode("utf-8")
+
+    def _key(self, tag: bytes, low: np.ndarray, high: np.ndarray, degrees: np.ndarray) -> bytes:
+        return tag + degrees.tobytes() + low.tobytes() + high.tobytes()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def insert(self, low: np.ndarray, high: np.ndarray, degrees: Sequence[int], coefficients: np.ndarray) -> None:
+        degrees = _normalised_degrees(degrees, np.asarray(low).size)
+        self._store[self._key(self._function_tag(), np.asarray(low), np.asarray(high), degrees)] = coefficients
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def get_batch(self, lows: np.ndarray, highs: np.ndarray, degrees: Sequence[int]) -> np.ndarray:
+        """Stacked coefficients for a ``(P, dim)`` box stack, fitting only misses."""
+
+        lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+        highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+        degrees = _normalised_degrees(degrees, lows.shape[1])
+        tag = self._function_tag()
+        keys = [self._key(tag, lows[index], highs[index], degrees) for index in range(lows.shape[0])]
+        missing = [index for index, key in enumerate(keys) if key not in self._store]
+        self.hits += len(keys) - len(missing)
+        self.misses += len(missing)
+        tensors = [self._store.get(key) for key in keys]
+        if missing:
+            fresh = bernstein_coefficients_batch(
+                self._function, lows[missing], highs[missing], degrees
+            )
+            for position, index in enumerate(missing):
+                tensors[index] = fresh[position]
+                self._store[keys[index]] = fresh[position]
+            self._evict()
+        return np.stack(tensors, axis=0)
+
+
 class BernsteinApproximation:
-    """Bernstein polynomial fit of a (possibly vector-valued) function on a box."""
+    """Bernstein polynomial fit of a (possibly vector-valued) function on a box.
+
+    The single-box view of the batched kernels above: construction fits the
+    coefficients as the batch-of-one special case of
+    :func:`bernstein_coefficients_batch` (same grid arithmetic, same stacked
+    network evaluation), so a scalar fit and row ``p`` of a batched fit are
+    bit-for-bit identical.
+    """
 
     def __init__(
         self,
@@ -69,42 +304,36 @@ class BernsteinApproximation:
         box: Box,
         degrees: Union[int, Sequence[int]],
         lipschitz_constant: Optional[float] = None,
+        coefficients: Optional[np.ndarray] = None,
     ):
         self.box = box
-        degrees = np.atleast_1d(np.asarray(degrees, dtype=int))
-        if degrees.size == 1:
-            degrees = np.full(box.dimension, int(degrees[0]))
-        if degrees.size != box.dimension:
-            raise ValueError("one degree per input dimension is required")
-        if np.any(degrees < 1):
-            raise ValueError("degrees must be at least 1")
-        self.degrees = degrees
+        self.degrees = _normalised_degrees(degrees, box.dimension)
         self._function = function
         if lipschitz_constant is None and isinstance(function, MLP):
             lipschitz_constant = network_lipschitz(function)
         self.lipschitz_constant = lipschitz_constant
-        self.coefficients = self._fit()
+        if coefficients is None:
+            coefficients = bernstein_coefficients_batch(
+                function, box.low[None, :], box.high[None, :], self.degrees
+            )[0]
+        self.coefficients = coefficients
+
+    @classmethod
+    def from_coefficients(
+        cls,
+        function: FunctionLike,
+        box: Box,
+        degrees: Union[int, Sequence[int]],
+        coefficients: np.ndarray,
+        lipschitz_constant: Optional[float] = None,
+    ) -> "BernsteinApproximation":
+        """Wrap a precomputed coefficient tensor (e.g. one row of a batched fit)."""
+
+        return cls(function, box, degrees, lipschitz_constant=lipschitz_constant, coefficients=coefficients)
 
     # ------------------------------------------------------------------
     def _evaluate_function(self, points: np.ndarray) -> np.ndarray:
-        if isinstance(self._function, MLP):
-            values = self._function.predict(points)
-        else:
-            values = np.stack([np.atleast_1d(self._function(point)) for point in points], axis=0)
-        return np.atleast_2d(values)
-
-    def _grid_points(self) -> np.ndarray:
-        axes = [np.linspace(lo, hi, degree + 1) for lo, hi, degree in zip(self.box.low, self.box.high, self.degrees)]
-        mesh = np.meshgrid(*axes, indexing="ij")
-        return np.stack([m.reshape(-1) for m in mesh], axis=-1)
-
-    def _fit(self) -> np.ndarray:
-        """Coefficient tensor of shape ``(*degrees + 1, output_dim)``."""
-
-        points = self._grid_points()
-        values = self._evaluate_function(points)
-        shape = tuple(int(degree) + 1 for degree in self.degrees) + (values.shape[-1],)
-        return values.reshape(shape)
+        return _evaluate_function_batch(self._function, points)
 
     # ------------------------------------------------------------------
     @property

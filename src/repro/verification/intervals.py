@@ -4,17 +4,79 @@ A lightweight vectorised interval type: lower/upper bound arrays with the
 usual arithmetic (natural inclusion functions).  Used to push state boxes
 through the plants' dynamics and, together with the Bernstein range
 enclosure, through the neural controller.
+
+Every operation is elementwise, so an :class:`Interval` may carry bounds of
+any shape: the verification engine stacks many boxes into ``(N, dim)``
+intervals and pushes them through the same code paths as a single ``(dim,)``
+interval.  The batched interval-bound-propagation kernels at the bottom of
+the module (:func:`network_output_bounds_batch`,
+:func:`refined_network_output_bounds_batch`) propagate a whole ``(M, dim)``
+stack of boxes through an MLP with one matrix product per layer; the scalar
+helpers are their ``M = 1`` wrappers.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.systems.sets import Box
 
 Scalar = Union[int, float]
+
+#: Verification kernels evaluate networks in fixed-width row blocks.  BLAS
+#: matrix products round slightly differently depending on the row count, so
+#: evaluating every stack in padded blocks of this exact height makes each
+#: row's result independent of how many boxes were batched together -- the
+#: property that lets the scalar and batched verification engines agree bit
+#: for bit.
+EVAL_BLOCK_ROWS = 64
+
+
+def apply_row_blocked(function, rows: np.ndarray) -> np.ndarray:
+    """Apply ``function`` to ``(N, ...)`` rows in fixed 64-row padded blocks.
+
+    The final partial block is padded by repeating its last row (each row of
+    a matrix product is computed independently, so padding rows cannot
+    perturb real ones) and the padding is sliced off the output.
+    """
+
+    count = rows.shape[0]
+    outputs = []
+    for start in range(0, count, EVAL_BLOCK_ROWS):
+        chunk = rows[start : start + EVAL_BLOCK_ROWS]
+        valid = chunk.shape[0]
+        if valid < EVAL_BLOCK_ROWS:
+            pad = np.broadcast_to(chunk[-1:], (EVAL_BLOCK_ROWS - valid,) + chunk.shape[1:])
+            chunk = np.concatenate([chunk, pad], axis=0)
+        outputs.append(function(chunk)[:valid])
+    return np.concatenate(outputs, axis=0)
+
+
+def _sin_range(lower: np.ndarray, upper: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Elementwise range of ``sin`` over ``[lower, upper]`` (any shape).
+
+    The extrema of ``sin`` sit at ``pi/2 + k*pi``: the range hits ``+1`` iff
+    an even ``k`` falls inside the interval and ``-1`` iff an odd one does,
+    so the enclosure needs only the endpoint values plus two parity tests --
+    no per-element Python loop.
+    """
+
+    sin_lo = np.sin(lower)
+    sin_hi = np.sin(upper)
+    low = np.minimum(sin_lo, sin_hi)
+    high = np.maximum(sin_lo, sin_hi)
+    k_start = np.ceil((lower - np.pi / 2.0) / np.pi)
+    k_end = np.floor((upper - np.pi / 2.0) / np.pi)
+    has_any = k_end >= k_start
+    multiple = (k_end - k_start) >= 1
+    has_even = has_any & (multiple | (np.mod(k_start, 2.0) == 0.0))
+    has_odd = has_any & (multiple | (np.mod(k_start, 2.0) != 0.0))
+    full = (upper - lower) >= 2.0 * np.pi
+    high = np.where(has_even | full, 1.0, high)
+    low = np.where(has_odd | full, -1.0, low)
+    return low, high
 
 
 class Interval:
@@ -106,7 +168,7 @@ class Interval:
         return Interval(lower, upper)
 
     def sin(self) -> "Interval":
-        return _monotone_trig(self, np.sin, np.cos)
+        return Interval(*_sin_range(self.lower, self.upper))
 
     def cos(self) -> "Interval":
         shifted = Interval(self.lower + np.pi / 2.0, self.upper + np.pi / 2.0)
@@ -143,25 +205,6 @@ class Interval:
         return f"Interval({pieces})"
 
 
-def _monotone_trig(interval: Interval, function, derivative) -> Interval:
-    """Range of sin over an interval, handling extrema inside the interval."""
-
-    lower = np.empty_like(interval.lower)
-    upper = np.empty_like(interval.upper)
-    for index, (lo, hi) in enumerate(zip(interval.lower, interval.upper)):
-        if hi - lo >= 2.0 * np.pi:
-            lower[index], upper[index] = -1.0, 1.0
-            continue
-        values = [function(lo), function(hi)]
-        # Interior extrema of sin occur at pi/2 + k*pi.
-        k_start = int(np.ceil((lo - np.pi / 2.0) / np.pi))
-        k_end = int(np.floor((hi - np.pi / 2.0) / np.pi))
-        for k in range(k_start, k_end + 1):
-            values.append(function(np.pi / 2.0 + k * np.pi))
-        lower[index], upper[index] = min(values), max(values)
-    return Interval(lower, upper)
-
-
 def interval_matmul(matrix: np.ndarray, interval: Interval) -> Interval:
     """Tight interval image of ``matrix @ x`` for ``x`` in the interval."""
 
@@ -173,22 +216,115 @@ def interval_matmul(matrix: np.ndarray, interval: Interval) -> Interval:
     return Interval(new_center - new_radius, new_center + new_radius)
 
 
-def refined_network_output_bounds(network, box: Box, splits_per_dim: int = 4) -> Interval:
-    """IBP bounds refined by subdividing the box and hulling the pieces.
+def network_output_bounds_batch(network, lows: np.ndarray, highs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Interval bound propagation through an MLP for an ``(M, dim)`` box stack.
 
-    Plain IBP over-approximates more as the box gets wider; subdividing into
-    ``splits_per_dim`` pieces per dimension and taking the hull of the
-    per-piece bounds is still sound but substantially tighter, at the cost of
-    ``splits_per_dim ** dim`` cheap forward bound propagations.
+    Propagates all ``M`` boxes with one centre/radius matrix product per
+    linear layer and one elementwise monotone map per activation, returning
+    ``(lower, upper)`` arrays of shape ``(M, output_dim)``.  This is the
+    kernel behind every IBP query of the verification engine; the scalar
+    :func:`network_output_bounds` is its ``M = 1`` wrapper.
     """
 
+    from repro.nn.layers import Activation, Linear
+
+    def propagate(bounds: np.ndarray) -> np.ndarray:
+        lower = bounds[..., 0]
+        upper = bounds[..., 1]
+        for layer in network.layers:
+            if isinstance(layer, Linear):
+                weight = layer.weight.data
+                center = (lower + upper) / 2.0
+                radius = (upper - lower) / 2.0
+                new_center = center @ weight + layer.bias.data
+                new_radius = radius @ np.abs(weight)
+                lower = new_center - new_radius
+                upper = new_center + new_radius
+            elif isinstance(layer, Activation):
+                name = layer.name
+                if name == "relu":
+                    lower = np.maximum(lower, 0.0)
+                    upper = np.maximum(upper, 0.0)
+                elif name == "tanh":
+                    lower = np.tanh(lower)
+                    upper = np.tanh(upper)
+                elif name == "sigmoid":
+                    lower = 1.0 / (1.0 + np.exp(-lower))
+                    upper = 1.0 / (1.0 + np.exp(-upper))
+                # identity: unchanged
+        return np.stack([lower, upper], axis=-1)
+
+    stacked = np.stack(
+        [
+            np.atleast_2d(np.asarray(lows, dtype=np.float64)),
+            np.atleast_2d(np.asarray(highs, dtype=np.float64)),
+        ],
+        axis=-1,
+    )  # (M, dim, 2): lower/upper travel together so blocks stay paired
+    result = apply_row_blocked(propagate, stacked)
+    return result[..., 0], result[..., 1]
+
+
+def subdivide_boxes_batch(
+    lows: np.ndarray, highs: np.ndarray, splits_per_dim: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniformly split each of ``M`` boxes into ``splits_per_dim**dim`` pieces.
+
+    Returns ``(sub_lows, sub_highs)`` of shape ``(M * splits_per_dim**dim,
+    dim)``, grouped so the pieces of box ``m`` occupy the contiguous slab
+    ``[m * S**dim, (m + 1) * S**dim)``.
+    """
+
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    count, dimension = lows.shape
+    edges = np.linspace(lows, highs, splits_per_dim + 1, axis=-1)  # (M, dim, S + 1)
+    index_grid = np.stack(
+        np.meshgrid(*[np.arange(splits_per_dim)] * dimension, indexing="ij"), axis=-1
+    ).reshape(-1, dimension)  # (S**dim, dim)
+    sub_lows = np.stack(
+        [edges[:, axis, index_grid[:, axis]] for axis in range(dimension)], axis=-1
+    )  # (M, S**dim, dim)
+    sub_highs = np.stack(
+        [edges[:, axis, index_grid[:, axis] + 1] for axis in range(dimension)], axis=-1
+    )
+    pieces = index_grid.shape[0]
+    return sub_lows.reshape(count * pieces, dimension), sub_highs.reshape(count * pieces, dimension)
+
+
+def refined_network_output_bounds_batch(
+    network, lows: np.ndarray, highs: np.ndarray, splits_per_dim: int = 4
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Refined IBP bounds for an ``(M, dim)`` stack of boxes.
+
+    Plain IBP over-approximates more as a box gets wider; subdividing each
+    box into ``splits_per_dim ** dim`` pieces, propagating the whole
+    ``(M * S**dim, dim)`` stack through :func:`network_output_bounds_batch`
+    at once, and hulling the per-piece bounds is still sound but
+    substantially tighter -- at the cost of one larger matrix product per
+    layer instead of ``M * S**dim`` small ones.
+    """
+
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
     if splits_per_dim <= 1:
-        return network_output_bounds(network, box)
-    enclosure = None
-    for piece in box.subdivide(splits_per_dim):
-        bounds = network_output_bounds(network, piece)
-        enclosure = bounds if enclosure is None else enclosure.hull(bounds)
-    return enclosure
+        return network_output_bounds_batch(network, lows, highs)
+    count = lows.shape[0]
+    sub_lows, sub_highs = subdivide_boxes_batch(lows, highs, splits_per_dim)
+    piece_lower, piece_upper = network_output_bounds_batch(network, sub_lows, sub_highs)
+    pieces = sub_lows.shape[0] // count
+    lower = piece_lower.reshape(count, pieces, -1).min(axis=1)
+    upper = piece_upper.reshape(count, pieces, -1).max(axis=1)
+    return lower, upper
+
+
+def refined_network_output_bounds(network, box: Box, splits_per_dim: int = 4) -> Interval:
+    """Refined IBP bounds of one box: the ``M = 1`` wrapper of the batch kernel."""
+
+    lower, upper = refined_network_output_bounds_batch(
+        network, box.low[None, :], box.high[None, :], splits_per_dim=splits_per_dim
+    )
+    return Interval(lower[0], upper[0])
 
 
 def network_output_bounds(network, box: Box) -> Interval:
@@ -196,25 +332,8 @@ def network_output_bounds(network, box: Box) -> Interval:
 
     Gives a fast but conservative enclosure of the network's output over a
     box -- used as a cross-check of the Bernstein range enclosure and by the
-    property tests.
+    property tests.  ``M = 1`` wrapper of :func:`network_output_bounds_batch`.
     """
 
-    from repro.nn.layers import Activation, Linear
-
-    interval = Interval(box.low, box.high)
-    for layer in network.layers:
-        if isinstance(layer, Linear):
-            propagated = interval_matmul(layer.weight.data.T, interval)
-            interval = Interval(propagated.lower + layer.bias.data, propagated.upper + layer.bias.data)
-        elif isinstance(layer, Activation):
-            name = layer.name
-            if name == "relu":
-                interval = Interval(np.maximum(interval.lower, 0.0), np.maximum(interval.upper, 0.0))
-            elif name == "tanh":
-                interval = Interval(np.tanh(interval.lower), np.tanh(interval.upper))
-            elif name == "sigmoid":
-                interval = Interval(
-                    1.0 / (1.0 + np.exp(-interval.lower)), 1.0 / (1.0 + np.exp(-interval.upper))
-                )
-            # identity: unchanged
-    return interval
+    lower, upper = network_output_bounds_batch(network, box.low[None, :], box.high[None, :])
+    return Interval(lower[0], upper[0])

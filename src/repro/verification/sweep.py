@@ -1,0 +1,271 @@
+"""Multi-controller verification sweeps over a process pool.
+
+The paper's verifiability comparison is inherently a *sweep*: many
+(controller, system, horizon, target-error) combinations, each an
+independent verification job.  :class:`VerificationSweep` runs such a job
+matrix through a ``multiprocessing`` pool -- every job executes the batched
+verification engine in its own worker process -- and aggregates the
+per-job :class:`~repro.verification.verifier.VerificationReport` summaries
+into one :class:`SweepReport`.
+
+Jobs are transported as plain data (system name, MLP architecture dict and
+weight arrays, analysis parameters), so they pickle cheaply and the worker
+rebuilds the network locally.  Two budgets bound each job:
+
+* ``work_budget`` -- the in-engine resource proxy (Bernstein coefficients
+  evaluated during reachability); exceeding it aborts the reachability
+  analysis with ``status='resource-exhausted'``, mirroring the paper's
+  report of ``kappa_D`` dying after 12 reachable-set computations;
+* ``time_budget_seconds`` -- a wall-clock budget checked at phase
+  boundaries (after partitioning and after reachability); when exceeded,
+  the remaining analyses are skipped and the job is marked
+  ``resource-exhausted`` rather than running unboundedly.
+
+The CLI front end is ``python -m repro verify-sweep``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.nn.network import MLP
+from repro.systems import make_system
+from repro.verification.verifier import VerificationReport, verify_controller
+
+
+@dataclass
+class SweepJob:
+    """One verification job: a controller, a system and analysis parameters."""
+
+    name: str
+    system: str
+    architecture: Dict
+    weights: Dict[str, np.ndarray]
+    target_error: float = 0.5
+    degree: int = 3
+    max_partitions: int = 2048
+    reach_steps: int = 15
+    reach_box_scale: float = 0.1
+    work_budget: Optional[int] = None
+    invariant_grid: Optional[int] = None
+    time_budget_seconds: Optional[float] = None
+
+    @classmethod
+    def from_network(cls, name: str, system: str, network: MLP, **parameters) -> "SweepJob":
+        """Build a job from a live network (weights are copied out)."""
+
+        return cls(
+            name=name,
+            system=system,
+            architecture=network.architecture(),
+            weights={key: value.copy() for key, value in network.state_dict().items()},
+            **parameters,
+        )
+
+    @classmethod
+    def from_saved(
+        cls, system: str, directory: Union[str, Path], controller: str = "kappa_star", **parameters
+    ) -> "SweepJob":
+        """Build a job from a controller saved by ``repro train``."""
+
+        from repro.utils.persistence import load_student_controller
+
+        network = load_student_controller(directory, name=controller).network
+        return cls.from_network(f"{controller}@{system}", system, network, **parameters)
+
+    def build_network(self) -> MLP:
+        network = MLP.from_architecture(self.architecture)
+        network.load_state_dict(self.weights)
+        return network
+
+
+@dataclass
+class SweepJobResult:
+    """Outcome of one sweep job (summary only: reports stay in the worker)."""
+
+    name: str
+    system: str
+    status: str  # "ok" or "error"
+    summary: Dict = field(default_factory=dict)
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def verified(self) -> bool:
+        return self.status == "ok" and bool(self.summary.get("verified", False))
+
+
+@dataclass
+class SweepReport:
+    """Aggregated outcome of a :class:`VerificationSweep` run."""
+
+    results: List[SweepJobResult]
+    elapsed_seconds: float
+    processes: int
+    engine: str
+
+    @property
+    def num_verified(self) -> int:
+        return sum(1 for result in self.results if result.verified)
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for result in self.results if result.status == "error")
+
+    def as_records(self) -> List[Dict]:
+        """Flat per-job dictionaries (for tables, JSON or CSV exports)."""
+
+        records = []
+        for result in self.results:
+            record = {
+                "job": result.name,
+                "system": result.system,
+                "status": result.status,
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+            if result.error:
+                record["error"] = result.error
+            record.update(result.summary)
+            records.append(record)
+        return records
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write one row per job (union of all summary keys) to ``path``."""
+
+        import csv
+
+        records = self.as_records()
+        keys: List[str] = []
+        for record in records:
+            for key in record:
+                if key not in keys:
+                    keys.append(key)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=keys, restval="")
+            writer.writeheader()
+            writer.writerows(records)
+        return path
+
+    def table(self) -> str:
+        """Aligned text table of the sweep (one line per job + a footer)."""
+
+        header = f"{'job':28s} {'system':10s} {'status':10s} {'verdict':12s} {'parts':>6s} {'L':>8s} {'seconds':>8s}"
+        lines = [header, "-" * len(header)]
+        for result in self.results:
+            summary = result.summary
+            verdict = summary.get("reach_status", "-") if result.status == "ok" else result.status
+            partitions = summary.get("partitions", "-")
+            lipschitz = summary.get("lipschitz")
+            lines.append(
+                f"{result.name:28s} {result.system:10s} {result.status:10s} {str(verdict):12s} "
+                f"{str(partitions):>6s} "
+                f"{(f'{lipschitz:.2f}' if lipschitz is not None else '-'):>8s} "
+                f"{result.elapsed_seconds:8.2f}"
+            )
+        lines.append(
+            f"{len(self.results)} jobs | {self.num_verified} verified | {self.num_failed} errors | "
+            f"{self.processes} process(es) | {self.elapsed_seconds:.2f}s wall clock"
+        )
+        return "\n".join(lines)
+
+
+def run_sweep_job(job: SweepJob, engine: str = "batched") -> SweepJobResult:
+    """Execute one job (also the pool worker body; must stay picklable).
+
+    Delegates to :func:`~repro.verification.verifier.verify_controller`,
+    which enforces the job's wall-clock budget at every phase boundary; an
+    invariant-set analysis skipped by the budget is reported as
+    ``invariant_status='resource-exhausted'``.
+    """
+
+    start = time.perf_counter()
+    try:
+        system = make_system(job.system)
+        network = job.build_network()
+        report: VerificationReport = verify_controller(
+            system,
+            network,
+            name=job.name,
+            target_error=job.target_error,
+            degree=job.degree,
+            max_partitions=job.max_partitions,
+            reach_initial_box=system.initial_set.scale(job.reach_box_scale),
+            reach_steps=job.reach_steps,
+            reach_work_budget=job.work_budget,
+            invariant_grid=job.invariant_grid,
+            engine=engine,
+            time_budget_seconds=job.time_budget_seconds,
+        )
+        summary = report.summary()
+        if job.invariant_grid and report.invariant is None:
+            summary["invariant_status"] = "resource-exhausted"
+        return SweepJobResult(
+            name=job.name,
+            system=job.system,
+            status="ok",
+            summary=summary,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+    except Exception as error:  # noqa: BLE001 - a failed job must not kill the sweep
+        return SweepJobResult(
+            name=job.name,
+            system=job.system,
+            status="error",
+            error=f"{type(error).__name__}: {error}",
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+
+def _pool_worker(payload) -> SweepJobResult:
+    job, engine = payload
+    return run_sweep_job(job, engine=engine)
+
+
+class VerificationSweep:
+    """Run many verification jobs, optionally fanned out across processes.
+
+    ``processes=None`` picks ``min(len(jobs), cpu_count)``; ``processes<=1``
+    runs inline (no pool), which is also the deterministic mode the
+    equivalence tests use.  Results always come back in job order.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[SweepJob],
+        processes: Optional[int] = None,
+        engine: str = "batched",
+    ):
+        self.jobs = list(jobs)
+        if processes is None:
+            processes = min(len(self.jobs), os.cpu_count() or 1)
+        self.processes = max(1, int(processes))
+        if engine not in ("batched", "scalar"):
+            raise ValueError(f"unknown engine {engine!r}; choose 'batched' or 'scalar'")
+        self.engine = engine
+
+    def run(self) -> SweepReport:
+        start = time.perf_counter()
+        if not self.jobs:
+            return SweepReport(results=[], elapsed_seconds=0.0, processes=self.processes, engine=self.engine)
+        if self.processes <= 1:
+            results = [run_sweep_job(job, engine=self.engine) for job in self.jobs]
+        else:
+            payloads = [(job, self.engine) for job in self.jobs]
+            context = multiprocessing.get_context("fork" if "fork" in multiprocessing.get_all_start_methods() else None)
+            with context.Pool(processes=self.processes) as pool:
+                results = pool.map(_pool_worker, payloads)
+        return SweepReport(
+            results=results,
+            elapsed_seconds=time.perf_counter() - start,
+            processes=self.processes,
+            engine=self.engine,
+        )

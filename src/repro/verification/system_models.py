@@ -4,9 +4,19 @@ Reachability needs to push a *box* of states (plus a control interval and
 the disturbance bound) through one step of each plant.  Natural interval
 extensions of the dynamics equations of Section IV are implemented here,
 keeping the plant classes themselves purely concrete.
+
+The inclusion functions are written **batched-native**: every state
+component is addressed with ``[..., i]`` slices, so the same formulas push
+an ``(N, dim)`` stack of state boxes (one row per invariant-set cell or
+verification query) through the dynamics in one vectorised pass.
+:func:`interval_dynamics` is the single-box wrapper -- the batch-of-one
+special case, bit-identical to a per-box loop because every operation is
+elementwise.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -17,48 +27,84 @@ from repro.systems.vanderpol import VanDerPolOscillator
 from repro.verification.intervals import Interval
 
 
+def _stack_components(components: Sequence[Interval]) -> Interval:
+    """Stack per-dimension intervals along the last axis: ``(N,) -> (N, dim)``."""
+
+    return Interval(
+        np.stack([component.lower for component in components], axis=-1),
+        np.stack([component.upper for component in components], axis=-1),
+    )
+
+
+def interval_dynamics_batch(
+    system: ControlSystem,
+    states: Interval,
+    controls: Interval,
+    disturbance: Interval,
+) -> Interval:
+    """One-step interval image for an ``(N, state_dim)`` stack of state boxes.
+
+    ``controls`` has shape ``(N, control_dim)``; ``disturbance`` is the
+    shared ``(state_dim,)`` (or per-plant) disturbance bound, broadcast
+    across the stack.  Returns an ``(N, state_dim)`` interval.
+    """
+
+    if isinstance(system, VanDerPolOscillator):
+        return _vanderpol_interval(system, states, controls, disturbance)
+    if isinstance(system, ThreeDimensionalSystem):
+        return _three_dimensional_interval(system, states, controls, disturbance)
+    if isinstance(system, CartPole):
+        return _cartpole_interval(system, states, controls, disturbance)
+    return _sampled_interval_batch(system, states, controls, disturbance)
+
+
 def interval_dynamics(
     system: ControlSystem,
     state: Interval,
     control: Interval,
     disturbance: Interval,
 ) -> Interval:
-    """One-step interval image of ``system`` from a state box and control interval."""
+    """One-step interval image of ``system`` from a state box and control interval.
 
-    if isinstance(system, VanDerPolOscillator):
-        return _vanderpol_interval(system, state, control, disturbance)
-    if isinstance(system, ThreeDimensionalSystem):
-        return _three_dimensional_interval(system, state, control, disturbance)
-    if isinstance(system, CartPole):
-        return _cartpole_interval(system, state, control, disturbance)
-    return _sampled_interval(system, state, control, disturbance)
+    The ``N = 1`` wrapper of :func:`interval_dynamics_batch`: the inclusion
+    functions are purely elementwise, so the single-box result is
+    bit-identical to the corresponding row of a batched call.
+    """
+
+    batched = interval_dynamics_batch(
+        system,
+        Interval(state.lower[None, :], state.upper[None, :]),
+        Interval(control.lower[None, :], control.upper[None, :]),
+        disturbance,
+    )
+    return Interval(batched.lower[0], batched.upper[0])
 
 
 def _vanderpol_interval(
     system: VanDerPolOscillator, state: Interval, control: Interval, disturbance: Interval
 ) -> Interval:
-    s1 = state[0]
-    s2 = state[1]
-    u = control[0]
-    omega = disturbance[0] if len(disturbance) else Interval.point(0.0)
+    s1 = state[..., 0]
+    s2 = state[..., 1]
+    u = control[..., 0]
+    omega = disturbance[..., 0] if len(disturbance) else Interval.point(0.0)
     tau = system.dt
     next_s1 = s1 + s2.scale(tau)
     nonlinear = (Interval.point(1.0) - s1.square()) * s2 * system.mu
     next_s2 = s2 + (nonlinear - s1 + u).scale(tau) + omega
-    return Interval.concatenate([next_s1, next_s2])
+    return _stack_components([next_s1, next_s2])
 
 
 def _three_dimensional_interval(
     system: ThreeDimensionalSystem, state: Interval, control: Interval, disturbance: Interval
 ) -> Interval:
-    x, y, z = state[0], state[1], state[2]
-    u = control[0]
+    x, y, z = state[..., 0], state[..., 1], state[..., 2]
+    u = control[..., 0]
     tau = system.dt
     next_x = x + (y + z.square().scale(0.5)).scale(tau)
     next_y = y + z.scale(tau)
     next_z = z + u.scale(tau)
-    result = Interval.concatenate([next_x, next_y, next_z])
-    if len(disturbance) == 3:
+    result = _stack_components([next_x, next_y, next_z])
+    if disturbance.lower.shape[-1] == 3:
         result = result + disturbance
     return result
 
@@ -66,8 +112,9 @@ def _three_dimensional_interval(
 def _cartpole_interval(
     system: CartPole, state: Interval, control: Interval, disturbance: Interval
 ) -> Interval:
-    position, velocity, angle, angular_velocity = state[0], state[1], state[2], state[3]
-    force = control[0]
+    position, velocity = state[..., 0], state[..., 1]
+    angle, angular_velocity = state[..., 2], state[..., 3]
+    force = control[..., 0]
     tau = system.dt
     sin_theta = angle.sin()
     cos_theta = angle.cos()
@@ -85,7 +132,7 @@ def _cartpole_interval(
     theta_acc = numerator * inverse
     s_acc = psi - (cos_theta * theta_acc).scale(system.pole_mass * system.pole_length / system.total_mass)
 
-    next_state = Interval.concatenate(
+    next_state = _stack_components(
         [
             position + velocity.scale(tau),
             velocity + s_acc.scale(tau),
@@ -93,7 +140,7 @@ def _cartpole_interval(
             angular_velocity + theta_acc.scale(tau),
         ]
     )
-    if len(disturbance) == 4:
+    if disturbance.lower.shape[-1] == 4:
         next_state = next_state + disturbance
     return next_state
 
@@ -123,3 +170,24 @@ def _sampled_interval(
     if len(disturbance) == system.state_dim:
         result = result + disturbance
     return result
+
+
+def _sampled_interval_batch(
+    system: ControlSystem, states: Interval, controls: Interval, disturbance: Interval
+) -> Interval:
+    """Row loop over :func:`_sampled_interval` for non-analytic plants."""
+
+    count = states.lower.shape[0]
+    rows = [
+        _sampled_interval(
+            system,
+            Interval(states.lower[index], states.upper[index]),
+            Interval(controls.lower[index], controls.upper[index]),
+            disturbance,
+        )
+        for index in range(count)
+    ]
+    return Interval(
+        np.stack([row.lower for row in rows], axis=0),
+        np.stack([row.upper for row in rows], axis=0),
+    )

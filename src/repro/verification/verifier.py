@@ -1,9 +1,17 @@
-"""High-level verification driver used by the benchmarks.
+"""High-level verification driver used by the benchmarks and the sweep.
 
 Wraps the partitioning, reachability and invariant-set machinery into a
 single call that reports everything the paper's verifiability comparison
 needs: verdicts, wall-clock times, the number of partitions, the Bernstein
 approximation error and the work performed, for a given neural controller.
+
+``engine="batched"`` (the default) runs the frontier-batched partitioner
+and the stacked Bernstein/IBP enclosure kernels; ``engine="scalar"`` runs
+the historical one-box-at-a-time flow.  Both produce bit-identical reports
+-- the scalar path is the batch-of-one special case -- so the engines are
+interchangeable and the benchmarks can measure their speed ratio honestly.
+Many (controller, system) verification jobs can be fanned out across
+processes with :class:`repro.verification.sweep.VerificationSweep`.
 """
 
 from __future__ import annotations
@@ -63,9 +71,12 @@ class VerificationReport:
         if self.reachability is not None:
             summary["reach_status"] = self.reachability.status
             summary["reach_seconds"] = self.reachability.elapsed_seconds
+            summary["reach_work"] = self.reachability.work
+            summary["reach_steps"] = self.reachability.steps_completed
         if self.invariant is not None:
             summary["invariant_fraction"] = self.invariant.volume_fraction()
             summary["invariant_seconds"] = self.invariant.elapsed_seconds
+            summary["invariant_work"] = self.invariant.work
         return summary
 
 
@@ -80,32 +91,62 @@ def verify_controller(
     reach_steps: int = 15,
     reach_work_budget: Optional[int] = None,
     invariant_grid: Optional[int] = None,
+    engine: str = "batched",
+    time_budget_seconds: Optional[float] = None,
 ) -> VerificationReport:
     """Run the selected verification analyses on one neural controller.
 
     ``reach_initial_box`` enables the bounded-horizon reachability analysis
     (Fig. 4); ``invariant_grid`` enables the invariant-set computation
     (Fig. 3).  Either may be omitted to run only the other analysis.
+
+    ``time_budget_seconds`` is a wall-clock budget checked at phase
+    boundaries: a reachability analysis that has not started when the
+    budget runs out is reported with ``status='resource-exhausted'`` (zero
+    steps), and a pending invariant-set analysis is skipped.
     """
 
     start = time.perf_counter()
+    deadline = start + float(time_budget_seconds) if time_budget_seconds is not None else None
+    lipschitz_constant = network_lipschitz(network)
     approximation: PartitionedApproximation = partition_network(
         network,
         system.safe_region,
         target_error=target_error,
         degree=degree,
         max_partitions=max_partitions,
+        lipschitz_constant=lipschitz_constant,
+        engine=engine,
     )
     partition_seconds = time.perf_counter() - start
 
+    def budget_exhausted() -> bool:
+        return deadline is not None and time.perf_counter() > deadline
+
     reach_result: Optional[ReachabilityResult] = None
     if reach_initial_box is not None:
-        reach_result = reachable_sets(
-            system, approximation, reach_initial_box, steps=reach_steps, work_budget=reach_work_budget
-        )
+        if budget_exhausted():
+            reach_result = ReachabilityResult(
+                boxes=[reach_initial_box],
+                status="resource-exhausted",
+                steps_completed=0,
+                elapsed_seconds=0.0,
+                work=0,
+                num_partitions=approximation.num_partitions,
+                approximation_error=approximation.max_error,
+            )
+        else:
+            reach_result = reachable_sets(
+                system,
+                approximation,
+                reach_initial_box,
+                steps=reach_steps,
+                work_budget=reach_work_budget,
+                engine=engine,
+            )
 
     invariant_result: Optional[InvariantSetResult] = None
-    if invariant_grid is not None:
+    if invariant_grid is not None and not budget_exhausted():
         invariant_result = compute_invariant_set(
             system,
             network,
@@ -114,11 +155,12 @@ def verify_controller(
             degree=degree,
             max_partitions=max_partitions,
             approximation=approximation,
+            engine=engine,
         )
 
     return VerificationReport(
         controller_name=name,
-        lipschitz_constant=network_lipschitz(network),
+        lipschitz_constant=lipschitz_constant,
         num_partitions=approximation.num_partitions,
         approximation_error=approximation.max_error,
         partition_seconds=partition_seconds,

@@ -20,6 +20,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--system", "quadrotor", "--output", str(tmp_path)])
 
+    def test_verify_sweep_defaults(self):
+        args = build_parser().parse_args(["verify-sweep", "--spec", "vanderpol:runs/vdp"])
+        assert args.command == "verify-sweep"
+        assert args.spec == ["vanderpol:runs/vdp"]
+        assert args.jobs == 0
+        assert args.engine == "batched"
+
+    def test_verify_sweep_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify-sweep", "--spec", "vanderpol:x", "--engine", "turbo"])
+
+    def test_verify_sweep_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            main(["verify-sweep"])
+
+    def test_verify_sweep_rejects_malformed_spec(self):
+        with pytest.raises(SystemExit):
+            main(["verify-sweep", "--spec", "too:many:colons:here"])
+
 
 class TestEndToEnd:
     @pytest.fixture(scope="class")
@@ -105,3 +124,55 @@ class TestEndToEnd:
         output = capsys.readouterr().out
         assert "lipschitz" in output
         assert "reach_status" in output
+
+    def test_verify_sweep_saved_controllers(self, trained_dir, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        exit_code = main(
+            [
+                "verify-sweep",
+                "--system",
+                "vanderpol",
+                "--controller-dir",
+                str(trained_dir),
+                "--jobs",
+                "1",
+                "--reach-steps",
+                "3",
+                "--target-error",
+                "0.8",
+                "--max-partitions",
+                "256",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        # One line per saved controller (kappa_star + kappaD) plus the footer.
+        assert "kappa_star@vanderpol" in output
+        assert "kappaD@vanderpol" in output
+        assert "wall clock" in output
+        rows = csv_path.read_text().splitlines()
+        assert rows[0].startswith("job,system,status")
+        assert len(rows) == 3
+
+    def test_verify_sweep_explicit_spec_and_pool(self, trained_dir, capsys):
+        exit_code = main(
+            [
+                "verify-sweep",
+                "--spec",
+                f"vanderpol:{trained_dir}:kappa_star",
+                "--jobs",
+                "2",
+                "--reach-steps",
+                "3",
+                "--target-error",
+                "0.8",
+                "--max-partitions",
+                "256",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "kappa_star@vanderpol" in output
+        assert "kappaD@vanderpol" not in output
