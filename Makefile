@@ -1,16 +1,22 @@
 # Developer entry points.  `test` wraps the tier-1 verification command used
-# by CI and the roadmap; `bench` regenerates the paper's tables/figures at
-# the quick scale; `verify-bench` re-times the scalar-vs-batched
-# verification engines and refreshes the committed CSV; `lint` is a fast
-# syntax gate (no third-party linter is vendored into the image).
+# by CI and the roadmap; `scenario-smoke` runs the fast train->evaluate->verify
+# cell for every registered scenario (also collected by `test` via the
+# scenario_smoke pytest marker); `bench` regenerates the paper's
+# tables/figures at the quick scale; `verify-bench` re-times the
+# scalar-vs-batched verification engines and refreshes the committed CSV;
+# `lint` is a fast syntax gate (no third-party linter is vendored into the
+# image).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench verify-bench lint
+.PHONY: test scenario-smoke bench verify-bench lint
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+scenario-smoke:
+	REPRO_SCALE=quick $(PYTHON) -m pytest -q -m scenario_smoke tests
 
 bench:
 	REPRO_SCALE=$${REPRO_SCALE:-quick} $(PYTHON) -m pytest -q benchmarks

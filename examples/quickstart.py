@@ -24,6 +24,7 @@ from repro import (
     DistillationConfig,
     MixingConfig,
     evaluate_controllers,
+    list_scenarios,
     make_default_experts,
     make_system,
     set_global_seed,
@@ -49,7 +50,7 @@ def build_config(scale: str, seed: int) -> CocktailConfig:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--system", default="vanderpol", choices=["vanderpol", "3d", "cartpole"])
+    parser.add_argument("--system", default="vanderpol", choices=list_scenarios())
     parser.add_argument("--fast", action="store_true", help="seconds-scale smoke run")
     parser.add_argument("--paper", action="store_true", help="paper-scale training budgets")
     parser.add_argument("--samples", type=int, default=200, help="Monte-Carlo evaluation samples")

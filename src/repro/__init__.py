@@ -13,9 +13,16 @@ The public API mirrors the paper's workflow::
     result = CocktailPipeline(system, experts, CocktailConfig.fast()).run()
     metrics = evaluate_controllers(system, result.controllers(), samples=100)
 
-See README.md for install/quickstart and docs/architecture.md for the module
+Plants are resolved through the scenario catalog (:mod:`repro.scenarios`):
+``make_system`` accepts any registered scenario name -- the paper's three
+systems plus the catalog extensions -- including parameter-overridable
+variants such as ``"vanderpol?mu=1.5"``, and ``register_scenario`` wires a
+new workload into the factories, the verifier and the CLI at once.
+
+See README.md for install/quickstart, docs/architecture.md for the module
 map (including the batched Monte-Carlo rollout engine that all metrics run
-on); the ``benchmarks/`` harnesses regenerate the paper's tables and figures.
+on) and docs/scenarios.md for the scenario catalog; the ``benchmarks/``
+harnesses regenerate the paper's tables and figures.
 """
 
 from repro.core import (
@@ -32,10 +39,19 @@ from repro.core import (
 )
 from repro.experts import Controller, make_default_experts
 from repro.metrics import evaluate_controller, evaluate_controllers
+from repro.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario_matrix,
+)
 from repro.systems import (
+    AdaptiveCruiseControl,
     Box,
     CartPole,
     ControlSystem,
+    InvertedPendulum,
     ThreeDimensionalSystem,
     VanDerPolOscillator,
     make_system,
@@ -52,7 +68,15 @@ __all__ = [
     "VanDerPolOscillator",
     "ThreeDimensionalSystem",
     "CartPole",
+    "InvertedPendulum",
+    "AdaptiveCruiseControl",
     "make_system",
+    # scenarios
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario_matrix",
     # experts
     "Controller",
     "make_default_experts",

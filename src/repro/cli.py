@@ -1,10 +1,10 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four sub-commands cover the daily workflow of the reproduction:
+Five sub-commands cover the daily workflow of the reproduction:
 
 ``train``
-    Run the full Cocktail pipeline (Algorithm 1) on one of the three test
-    systems and save the distilled controllers plus an experiment record.
+    Run the full Cocktail pipeline (Algorithm 1) on a registered scenario
+    and save the distilled controllers plus an experiment record.
 
 ``evaluate``
     Evaluate a saved student controller (or the analytic experts) on the
@@ -20,6 +20,16 @@ Four sub-commands cover the daily workflow of the reproduction:
     ``--system``/``--controller-dir`` pair), fan the jobs out across a
     process pool (``--jobs``) running the batched verification engine, and
     print an aggregated report (optionally written to ``--csv``).
+
+``scenarios``
+    Inspect the scenario catalog (``scenarios list``) or run the full
+    ``(scenario x controller x perturbation)`` matrix with per-cell
+    evaluation and verification, emitting one cross-scenario CSV
+    (``scenarios run``).
+
+Every ``--system`` argument resolves through the scenario registry
+(:mod:`repro.scenarios`), so aliases and parameter-overridable variants
+such as ``vanderpol?mu=1.5`` are accepted everywhere.
 """
 
 from __future__ import annotations
@@ -45,18 +55,64 @@ from repro.utils.persistence import load_student_controller, save_cocktail_resul
 from repro.verification import verify_controller
 
 
+def _scenario_argument(value: str) -> str:
+    """Validate a ``--system`` value against the scenario registry.
+
+    Accepts canonical names, aliases and ``base?key=value`` variants;
+    rejects unknown scenarios at parse time with the registered catalog in
+    the error message.
+    """
+
+    from repro.scenarios import resolve_scenario
+
+    try:
+        resolve_scenario(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+    return value
+
+
+def _add_system_argument(parser: argparse.ArgumentParser, default: Optional[str] = "vanderpol") -> None:
+    """One ``--system`` flag, choices derived from the registry."""
+
+    from repro.scenarios import list_scenarios
+
+    parser.add_argument(
+        "--system",
+        default=default,
+        type=_scenario_argument,
+        metavar="SCENARIO",
+        help=f"registered scenario, one of {list_scenarios()} "
+        "(aliases and variants like vanderpol?mu=1.5 accepted)",
+    )
+
+
+def _load_controller(directory: Path, name: str):
+    """Load a saved student, exiting with the available names on a miss."""
+
+    try:
+        return load_student_controller(directory, name=name)
+    except FileNotFoundError as error:
+        raise SystemExit(f"no saved controllers found in {directory}: {error}")
+    except KeyError as error:
+        raise SystemExit(str(error.args[0]) if error.args else str(error))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     train = subparsers.add_parser("train", help="run the Cocktail pipeline and save the students")
-    train.add_argument("--system", default="vanderpol", choices=["vanderpol", "3d", "cartpole"])
+    _add_system_argument(train)
     train.add_argument("--output", type=Path, required=True, help="directory for the saved controllers")
-    train.add_argument("--mixing-epochs", type=int, default=10)
-    train.add_argument("--mixing-steps", type=int, default=1024)
-    train.add_argument("--distill-epochs", type=int, default=100)
-    train.add_argument("--dataset-size", type=int, default=2500)
-    train.add_argument("--eval-samples", type=int, default=150)
+    # Budget flags default to the scenario's train_budget hints (resolved
+    # after parsing, once --system is known); explicit values win.
+    hint = "(default: the scenario's budget hint)"
+    train.add_argument("--mixing-epochs", type=int, default=None, help=f"PPO mixing epochs {hint}")
+    train.add_argument("--mixing-steps", type=int, default=None, help=f"PPO steps per epoch {hint}")
+    train.add_argument("--distill-epochs", type=int, default=None, help=f"distillation epochs {hint}")
+    train.add_argument("--dataset-size", type=int, default=None, help=f"distillation dataset size {hint}")
+    train.add_argument("--eval-samples", type=int, default=None, help=f"Monte-Carlo evaluation samples {hint}")
     train.add_argument(
         "--eval-batch-size",
         type=int,
@@ -66,9 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
 
     evaluate = subparsers.add_parser("evaluate", help="evaluate a saved student controller")
-    evaluate.add_argument("--system", default="vanderpol", choices=["vanderpol", "3d", "cartpole"])
+    _add_system_argument(evaluate)
     evaluate.add_argument("--controller-dir", type=Path, required=True)
-    evaluate.add_argument("--controller", default="kappa_star", choices=["kappa_star", "kappaD"])
+    evaluate.add_argument(
+        "--controller",
+        default="kappa_star",
+        help="any controller saved in --controller-dir (default kappa_star)",
+    )
     evaluate.add_argument("--perturbation", default="none", choices=["none", "attack", "noise"])
     evaluate.add_argument("--fraction", type=float, default=0.1)
     evaluate.add_argument("--samples", type=int, default=200)
@@ -81,14 +141,22 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
 
     verify = subparsers.add_parser("verify", help="verify a saved student controller")
-    verify.add_argument("--system", default="vanderpol", choices=["vanderpol", "3d", "cartpole"])
+    _add_system_argument(verify)
     verify.add_argument("--controller-dir", type=Path, required=True)
-    verify.add_argument("--controller", default="kappa_star", choices=["kappa_star", "kappaD"])
-    verify.add_argument("--target-error", type=float, default=0.5)
-    verify.add_argument("--degree", type=int, default=3)
-    verify.add_argument("--max-partitions", type=int, default=4096)
-    verify.add_argument("--reach-steps", type=int, default=15)
-    verify.add_argument("--reach-box-scale", type=float, default=0.1, help="initial reach box as a fraction of X0")
+    verify.add_argument(
+        "--controller",
+        default="kappa_star",
+        help="any controller saved in --controller-dir (default kappa_star)",
+    )
+    # Analysis parameters default to the scenario's verify_budget hints
+    # (e.g. the cartpole pins a lower Bernstein degree for its 4-D state).
+    hint = "(default: the scenario's budget hint)"
+    verify.add_argument("--target-error", type=float, default=None, help=f"Bernstein error target {hint}")
+    verify.add_argument("--degree", type=int, default=None, help=f"Bernstein degree {hint}")
+    verify.add_argument("--max-partitions", type=int, default=None, help=f"partition cap {hint}")
+    verify.add_argument("--reach-steps", type=int, default=None, help=f"reachability horizon {hint}")
+    verify.add_argument("--reach-box-scale", type=float, default=None,
+                        help=f"initial reach box as a fraction of X0 {hint}")
     verify.add_argument("--invariant-grid", type=int, default=0, help="0 disables the invariant-set analysis")
     verify.add_argument(
         "--engine",
@@ -108,8 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="one verification job source; repeatable; omitting CONTROLLER expands to every "
         "controller recorded in DIR (kappa_star and, when present, kappaD)",
     )
-    sweep.add_argument("--system", default=None, choices=["vanderpol", "3d", "cartpole"],
-                       help="shorthand for a single --spec entry (with --controller-dir)")
+    _add_system_argument(sweep, default=None)
     sweep.add_argument("--controller-dir", type=Path, default=None,
                        help="controller directory for the --system shorthand")
     sweep.add_argument("--jobs", type=int, default=0,
@@ -133,25 +200,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--csv", type=Path, default=None, help="write one CSV row per job to this path")
 
+    scenarios = subparsers.add_parser(
+        "scenarios", help="inspect the scenario catalog or run the cross-scenario matrix"
+    )
+    scenario_commands = scenarios.add_subparsers(dest="scenario_command", required=True)
+    scenario_commands.add_parser("list", help="print every registered scenario")
+    run = scenario_commands.add_parser(
+        "run", help="run the (scenario x controller x perturbation) matrix"
+    )
+    run.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        type=_scenario_argument,
+        metavar="SCENARIO",
+        help="restrict the matrix to this scenario (repeatable; default: the whole catalog)",
+    )
+    run.add_argument("--samples", type=int, default=32, help="Monte-Carlo rollouts per evaluation cell")
+    run.add_argument("--fraction", type=float, default=0.1, help="attack/noise magnitude fraction")
+    run.add_argument("--budget-scale", type=float, default=1.0,
+                     help="uniformly scale each scenario's training budget hints")
+    run.add_argument("--no-train", action="store_true",
+                     help="skip training kappa_star (evaluates the analytic experts only)")
+    run.add_argument("--no-verify", action="store_true", help="skip the verification cells")
+    run.add_argument("--jobs", type=int, default=0,
+                     help="verification worker processes (0 = one per scenario, capped at the CPU count)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--csv", type=Path, default=None, help="write one CSV row per matrix cell")
+
     return parser
 
 
+def _resolve_budget(explicit, hints, key, fallback):
+    """An explicitly passed CLI value wins; then the scenario hint; then ``fallback``."""
+
+    if explicit is not None:
+        return explicit
+    return type(fallback)(hints.get(key, fallback))
+
+
 def _command_train(args: argparse.Namespace) -> int:
+    from repro.scenarios import get_scenario
+
     set_global_seed(args.seed)
     system = make_system(args.system)
     experts = make_default_experts(system)
+    hints = get_scenario(args.system).train_budget
     config = CocktailConfig(
-        mixing=MixingConfig(epochs=args.mixing_epochs, steps_per_epoch=args.mixing_steps, seed=args.seed),
+        mixing=MixingConfig(
+            epochs=_resolve_budget(args.mixing_epochs, hints, "mixing_epochs", 10),
+            steps_per_epoch=_resolve_budget(args.mixing_steps, hints, "mixing_steps", 1024),
+            seed=args.seed,
+        ),
         distillation=DistillationConfig(
-            epochs=args.distill_epochs,
-            dataset_size=args.dataset_size,
+            epochs=_resolve_budget(args.distill_epochs, hints, "distill_epochs", 100),
+            dataset_size=_resolve_budget(args.dataset_size, hints, "dataset_size", 2500),
             hidden_sizes=(32, 32),
             l2_weight=5e-3,
-            trajectory_fraction=0.7 if args.system == "cartpole" else 0.6,
+            trajectory_fraction=float(hints.get("trajectory_fraction", 0.6)),
             seed=args.seed,
         ),
         evaluation=EvaluationConfig(
-            samples=args.eval_samples,
+            samples=_resolve_budget(args.eval_samples, hints, "eval_samples", 150),
             batch_size=args.eval_batch_size or None,
         ),
         seed=args.seed,
@@ -173,7 +283,7 @@ def _command_train(args: argparse.Namespace) -> int:
 def _command_evaluate(args: argparse.Namespace) -> int:
     set_global_seed(args.seed)
     system = make_system(args.system)
-    controller = load_student_controller(args.controller_dir, name=args.controller)
+    controller = _load_controller(args.controller_dir, args.controller)
     outcome = evaluate_robustness(
         system,
         controller,
@@ -191,18 +301,23 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
 
 def _command_verify(args: argparse.Namespace) -> int:
+    from repro.scenarios import get_scenario
+
     system = make_system(args.system)
-    controller = load_student_controller(args.controller_dir, name=args.controller)
-    reach_box = system.initial_set.scale(args.reach_box_scale)
+    controller = _load_controller(args.controller_dir, args.controller)
+    hints = get_scenario(args.system).verify_budget
+    reach_box = system.initial_set.scale(
+        _resolve_budget(args.reach_box_scale, hints, "reach_box_scale", 0.1)
+    )
     report = verify_controller(
         system,
         controller.network,
         name=args.controller,
-        target_error=args.target_error,
-        degree=args.degree,
-        max_partitions=args.max_partitions,
+        target_error=_resolve_budget(args.target_error, hints, "target_error", 0.5),
+        degree=_resolve_budget(args.degree, hints, "degree", 3),
+        max_partitions=_resolve_budget(args.max_partitions, hints, "max_partitions", 4096),
         reach_initial_box=reach_box,
-        reach_steps=args.reach_steps,
+        reach_steps=_resolve_budget(args.reach_steps, hints, "reach_steps", 15),
         invariant_grid=args.invariant_grid or None,
         engine=args.engine,
     )
@@ -216,6 +331,7 @@ def _expand_sweep_specs(args: argparse.Namespace) -> list:
 
     import json
 
+    from repro.scenarios import resolve_scenario
     from repro.verification.sweep import SweepJob
 
     specs = list(args.spec or [])
@@ -256,6 +372,10 @@ def _expand_sweep_specs(args: argparse.Namespace) -> list:
             controllers = [pieces[2]]
         else:
             raise SystemExit(f"bad --spec {spec!r}; expected SYSTEM:DIR[:CONTROLLER]")
+        try:
+            resolve_scenario(system)
+        except ValueError as error:
+            raise SystemExit(f"bad --spec {spec!r}: {error}")
         for controller in controllers:
             try:
                 jobs.append(SweepJob.from_saved(system, directory, controller=controller, **parameters))
@@ -277,6 +397,40 @@ def _command_verify_sweep(args: argparse.Namespace) -> int:
     return 0 if report.num_failed == 0 else 1
 
 
+def _command_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import run_scenario_matrix, scenario_specs
+
+    if args.scenario_command == "list":
+        header = f"{'name':12s} {'dims':>4s} {'horizon':>8s} {'aliases':24s} description"
+        print(header)
+        print("-" * len(header))
+        for spec in scenario_specs():
+            row = spec.describe()
+            aliases = ",".join(row["aliases"]) if row["aliases"] else "-"
+            print(
+                f"{row['name']:12s} {row['state_dim']:4d} {row['horizon']:8d} "
+                f"{aliases:24s} {row['description']}"
+            )
+        return 0
+
+    report = run_scenario_matrix(
+        scenarios=args.scenario,
+        samples=args.samples,
+        fraction=args.fraction,
+        train=not args.no_train,
+        verify=not args.no_verify,
+        jobs=args.jobs,
+        seed=args.seed,
+        budget_scale=args.budget_scale,
+        progress=print,
+    )
+    print(report.table())
+    if args.csv is not None:
+        path = report.to_csv(args.csv)
+        print(f"wrote per-cell records to {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
 
@@ -289,6 +443,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_verify(args)
     if args.command == "verify-sweep":
         return _command_verify_sweep(args)
+    if args.command == "scenarios":
+        return _command_scenarios(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
 
 

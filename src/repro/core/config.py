@@ -10,7 +10,7 @@ regularisation weight ``lambda``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
 from repro.rl.ppo import PPOConfig
 
@@ -147,5 +147,39 @@ class CocktailConfig:
         return cls(
             mixing=MixingConfig(epochs=3, steps_per_epoch=256, seed=seed),
             distillation=DistillationConfig(epochs=30, dataset_size=600, seed=seed),
+            seed=seed,
+        )
+
+    @classmethod
+    def from_budget_hints(
+        cls, hints: Mapping[str, object], seed: Optional[int] = 0
+    ) -> "CocktailConfig":
+        """Build a config from a scenario's training budget hints.
+
+        ``hints`` is the ``train_budget`` mapping of a
+        :class:`repro.scenarios.ScenarioSpec` (``mixing_epochs``,
+        ``mixing_steps``, ``distill_epochs``, ``dataset_size``,
+        ``trajectory_fraction``, ``eval_samples``); missing keys fall back
+        to the historical CLI defaults below (the same table the CLI's
+        budget flags fall back to), so a spec only states what is
+        scenario-specific.
+        """
+
+        hints = dict(hints or {})
+        return cls(
+            mixing=MixingConfig(
+                epochs=int(hints.get("mixing_epochs", 10)),
+                steps_per_epoch=int(hints.get("mixing_steps", 1024)),
+                seed=seed,
+            ),
+            distillation=DistillationConfig(
+                epochs=int(hints.get("distill_epochs", 100)),
+                dataset_size=int(hints.get("dataset_size", 2500)),
+                hidden_sizes=tuple(hints.get("hidden_sizes", (32, 32))),
+                l2_weight=float(hints.get("l2_weight", 5e-3)),
+                trajectory_fraction=float(hints.get("trajectory_fraction", 0.6)),
+                seed=seed,
+            ),
+            evaluation=EvaluationConfig(samples=int(hints.get("eval_samples", 150))),
             seed=seed,
         )

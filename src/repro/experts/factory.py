@@ -1,4 +1,4 @@
-"""Default expert pairs (κ1, κ2) for the three test systems.
+"""Default expert pairs (κ1, κ2) for the registered scenarios.
 
 The paper's experts are deliberately *not* optimal -- they differ in strength
 across the state space, which is what the adaptive mixer exploits.  Two
@@ -11,21 +11,28 @@ flavours are provided:
   benchmark mode tractable on a laptop.
 * ``mode="ddpg"`` -- faithful to the paper: two DDPG actors trained with
   different hyper-parameters (hidden sizes, exploration, reward weights).
+
+Which analytic pair a plant gets is decided by the scenario catalog
+(:mod:`repro.scenarios`): every :class:`~repro.scenarios.ScenarioSpec`
+carries an ``expert_factory`` hook, and :func:`make_default_experts` looks
+the plant up by its ``name``.  The per-plant builders below are the hooks
+the built-in catalog registers; a custom plant gets default experts by
+registering its own scenario instead of editing this module.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.experts.base import Controller, LinearStateFeedback
 from repro.experts.ddpg_expert import DDPGExpertSpec, train_ddpg_expert
-from repro.experts.feedback_linearization import VanDerPolFeedbackLinearization
+from repro.experts.feedback_linearization import (
+    PendulumFeedbackLinearization,
+    VanDerPolFeedbackLinearization,
+)
 from repro.experts.lqr import LQRController
 from repro.experts.polynomial import PolynomialController
 from repro.systems.base import ControlSystem
-from repro.systems.cartpole import CartPole
-from repro.systems.linear3d import ThreeDimensionalSystem
-from repro.systems.vanderpol import VanDerPolOscillator
 from repro.utils.seeding import RngLike
 
 
@@ -35,29 +42,31 @@ def make_default_experts(
     rng: RngLike = None,
     ddpg_episodes: Optional[int] = None,
 ) -> List[Controller]:
-    """Return the expert pair ``[kappa1, kappa2]`` for one of the test systems."""
+    """Return the expert pair ``[kappa1, kappa2]`` for a registered scenario."""
 
     if mode not in ("analytic", "ddpg"):
         raise ValueError("mode must be 'analytic' or 'ddpg'")
     if mode == "ddpg":
         return _ddpg_experts(system, rng=rng, episodes=ddpg_episodes)
-    if isinstance(system, VanDerPolOscillator):
-        return _vanderpol_experts(system)
-    if isinstance(system, ThreeDimensionalSystem):
-        return _three_dimensional_experts(system)
-    if isinstance(system, CartPole):
-        return _cartpole_experts(system)
-    raise ValueError(f"no default experts defined for system {system.name!r}")
+
+    from repro.scenarios import find_scenario
+
+    spec = find_scenario(getattr(system, "name", None))
+    if spec is None:
+        raise ValueError(
+            f"no default experts defined for system {getattr(system, 'name', system)!r}; "
+            "register a scenario with an expert_factory (see repro.scenarios)"
+        )
+    return spec.make_experts(system)
 
 
 # ----------------------------------------------------------------------
-# Analytic expert pairs
+# Analytic expert pairs (registered as scenario expert_factory hooks)
 # ----------------------------------------------------------------------
-def _vanderpol_experts(system: VanDerPolOscillator) -> List[Controller]:
+def vanderpol_experts(system) -> List[Controller]:
     # kappa1: feedback linearisation -- strong everywhere, high control effort,
     # high Lipschitz constant (the |1 - s1^2| term grows with |s1|).
     kappa1 = VanDerPolFeedbackLinearization(k1=4.0, k2=6.0, mu=system.mu, name="kappa1")
-    kappa1.name = "kappa1"
     # kappa2: weak linear feedback, cheap but it neither cancels the
     # nonlinearity nor reacts strongly near the boundary of X0, so
     # trajectories that start near the corners can escape -- a weaker,
@@ -66,7 +75,7 @@ def _vanderpol_experts(system: VanDerPolOscillator) -> List[Controller]:
     return [kappa1, kappa2]
 
 
-def _three_dimensional_experts(system: ThreeDimensionalSystem) -> List[Controller]:
+def three_dimensional_experts(system) -> List[Controller]:
     # kappa1: aggressive LQR (cheap control penalty -> larger gains).
     kappa1 = LQRController(system, state_cost=1.0, control_cost=0.05, name="kappa1")
     # kappa2: the polynomial controller of Sassi et al. -- low gains, very
@@ -76,13 +85,44 @@ def _three_dimensional_experts(system: ThreeDimensionalSystem) -> List[Controlle
     return [kappa1, kappa2]
 
 
-def _cartpole_experts(system: CartPole) -> List[Controller]:
+def cartpole_experts(system) -> List[Controller]:
     # kappa1: aggressive LQR balancing both cart position and pole angle.
     kappa1 = LQRController(system, state_cost=1.0, control_cost=0.05, name="kappa1")
     # kappa2: angle-only feedback (u = 18*theta + 2.5*theta_dot) -- keeps the
     # pole up cheaply but ignores the cart position, so the cart can drift
     # out of [-2.4, 2.4] on long horizons.
     kappa2 = LinearStateFeedback([[0.0, 0.0, -18.0, -2.5]], name="kappa2")
+    return [kappa1, kappa2]
+
+
+def pendulum_experts(system) -> List[Controller]:
+    # kappa1: feedback linearisation -- cancels gravity exactly, so the closed
+    # loop is linear and strongly stable everywhere in X, at a high torque
+    # cost (the cancellation term alone is ~g*sin(theta)).
+    kappa1 = PendulumFeedbackLinearization(
+        k1=8.0,
+        k2=4.0,
+        mass=system.mass,
+        length=system.length,
+        gravity=system.gravity,
+        name="kappa1",
+    )
+    # kappa2: plain linear feedback with just enough angle gain to dominate
+    # gravity near the origin; its stability margin shrinks as |theta| grows
+    # (9.8*sin(theta) flattens, 12*theta does not), so it is frugal but
+    # noticeably weaker from the corners of X0.
+    kappa2 = LinearStateFeedback([[12.0, 2.5]], name="kappa2")
+    return [kappa1, kappa2]
+
+
+def acc_experts(system) -> List[Controller]:
+    # kappa1: aggressive LQR on the exact (affine) model -- tight gap
+    # regulation, high commanded-acceleration effort.
+    kappa1 = LQRController(system, state_cost=1.0, control_cost=0.05, name="kappa1")
+    # kappa2: comfort-tuned LQR (expensive control penalty -> small gains,
+    # low Lipschitz constant): smooth, frugal, slower to arrest a closing
+    # gap from the edge of X0.
+    kappa2 = LQRController(system, state_cost=1.0, control_cost=8.0, name="kappa2")
     return [kappa1, kappa2]
 
 

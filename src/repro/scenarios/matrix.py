@@ -1,0 +1,226 @@
+"""Cross-scenario matrix runner: ``(scenario x controller x perturbation)``.
+
+The ROADMAP's scenario-diversity goal is operationally a *matrix*: every
+registered scenario crossed with every controller of interest and every
+perturbation regime, each cell a Monte-Carlo evaluation on the batched
+rollout engine, plus one verification job per trained student fanned across
+the :class:`~repro.verification.sweep.VerificationSweep` process pool.
+:func:`run_scenario_matrix` expands and runs that matrix and returns a
+:class:`ScenarioMatrixReport` whose ``to_csv`` emits one flat row per cell
+-- the cross-scenario CSV the CLI's ``repro scenarios run`` writes.
+
+Per-scenario budgets come from each spec's ``train_budget`` /
+``verify_budget`` hints; ``budget_scale`` shrinks the integer training
+knobs uniformly (the ``make scenario-smoke`` target runs the whole catalog
+at a tiny scale this way).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.cocktail import CocktailPipeline
+from repro.core.config import CocktailConfig
+from repro.metrics.robustness import evaluate_robustness
+from repro.scenarios.registry import list_scenarios, resolve_scenario
+from repro.utils.seeding import set_global_seed
+
+#: The training-budget keys that scale with ``budget_scale``.
+_SCALABLE_HINTS = ("mixing_epochs", "mixing_steps", "distill_epochs", "dataset_size", "eval_samples")
+
+
+def scale_budget_hints(hints: Mapping[str, object], factor: float) -> Dict[str, object]:
+    """Uniformly shrink/grow the integer budget knobs (floored at 1)."""
+
+    scaled = dict(hints or {})
+    if factor != 1.0:
+        for key in _SCALABLE_HINTS:
+            if key in scaled:
+                scaled[key] = max(1, int(round(float(scaled[key]) * factor)))
+    return scaled
+
+
+@dataclass
+class ScenarioMatrixReport:
+    """Flat per-cell records of one matrix run."""
+
+    rows: List[Dict] = field(default_factory=list)
+    scenarios: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_unsafe_free(self) -> int:
+        """Evaluation cells with a perfect safe rate."""
+
+        return sum(1 for row in self.rows if row.get("safe_rate") == 1.0)
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write one row per matrix cell (union of all keys) to ``path``."""
+
+        import csv
+
+        keys: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=keys, restval="")
+            writer.writeheader()
+            writer.writerows(self.rows)
+        return path
+
+    def table(self) -> str:
+        """Aligned text table of the matrix (one line per cell + a footer)."""
+
+        header = (
+            f"{'scenario':12s} {'controller':12s} {'cell':10s} {'perturb':8s} "
+            f"{'Sr':>7s} {'energy':>9s} {'verdict':>12s} {'seconds':>8s}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            safe_rate = row.get("safe_rate")
+            energy = row.get("mean_energy")
+            verdict = row.get("reach_status", row.get("status", "-"))
+            lines.append(
+                f"{row['scenario']:12s} {row['controller']:12s} {row['cell']:10s} "
+                f"{str(row.get('perturbation', '-')):8s} "
+                f"{(f'{100 * safe_rate:6.1f}%' if safe_rate is not None else '      -'):>7s} "
+                f"{(f'{energy:9.2f}' if energy is not None else '        -'):>9s} "
+                f"{str(verdict):>12s} {row.get('seconds', 0.0):8.2f}"
+            )
+        lines.append(
+            f"{self.num_cells} cells over {len(self.scenarios)} scenario(s) | "
+            f"{self.elapsed_seconds:.2f}s wall clock"
+        )
+        return "\n".join(lines)
+
+
+def run_scenario_matrix(
+    scenarios: Optional[Sequence[str]] = None,
+    perturbations: Sequence[str] = ("none", "attack", "noise"),
+    samples: int = 32,
+    fraction: float = 0.1,
+    train: bool = True,
+    verify: bool = True,
+    jobs: int = 1,
+    seed: int = 0,
+    budget_scale: float = 1.0,
+    train_overrides: Optional[Mapping[str, object]] = None,
+    verify_overrides: Optional[Mapping[str, object]] = None,
+    engine: str = "batched",
+    progress: Optional[Callable[[str], None]] = None,
+) -> ScenarioMatrixReport:
+    """Run the ``(scenario x controller x perturbation)`` matrix.
+
+    For every scenario (default: the whole catalog) the runner builds the
+    plant and its default experts, optionally trains a Cocktail student
+    (``train=True``) on the scenario's budget hints scaled by
+    ``budget_scale``, evaluates every controller under every perturbation
+    regime on the batched rollout engine, and finally fans one verification
+    job per trained student across a :class:`VerificationSweep` pool of
+    ``jobs`` processes.  ``train_overrides`` / ``verify_overrides`` replace
+    individual budget-hint keys after scaling (the smoke harness pins tiny
+    values this way).
+
+    Scenario names may be variants (``"vanderpol?mu=1.5"``); the override
+    string travels into the verification worker, which rebuilds the exact
+    plant through the registry.
+    """
+
+    names = list(scenarios) if scenarios is not None else list_scenarios()
+    if not names:
+        raise ValueError("no scenarios to run; the catalog (or the requested list) is empty")
+    say = progress if progress is not None else (lambda message: None)
+
+    start = time.perf_counter()
+    report = ScenarioMatrixReport(scenarios=list(names))
+    sweep_jobs = []
+    for name in names:
+        spec, overrides = resolve_scenario(name)
+        system = spec.make_system(**overrides)
+        controllers = {
+            f"kappa{index}": expert for index, expert in enumerate(spec.make_experts(system), start=1)
+        }
+
+        if train:
+            hints = scale_budget_hints(spec.train_budget, budget_scale)
+            hints.update(train_overrides or {})
+            say(f"[{name}] training kappa_star ({hints.get('mixing_epochs', '?')} mixing epochs)")
+            set_global_seed(seed)
+            config = CocktailConfig.from_budget_hints(hints, seed=seed)
+            result = CocktailPipeline(system, list(controllers.values()), config).run(
+                include_direct_baseline=False
+            )
+            controllers["kappa_star"] = result.student
+
+        for controller_name, controller in controllers.items():
+            for perturbation in perturbations:
+                cell_start = time.perf_counter()
+                outcome = evaluate_robustness(
+                    system,
+                    controller,
+                    perturbation=perturbation,
+                    fraction=fraction,
+                    samples=samples,
+                    rng=seed,
+                )
+                report.rows.append(
+                    {
+                        "scenario": name,
+                        "controller": controller_name,
+                        "cell": "evaluate",
+                        "perturbation": perturbation,
+                        "safe_rate": outcome.safe_rate,
+                        "mean_energy": outcome.mean_energy,
+                        "samples": outcome.samples,
+                        "seconds": time.perf_counter() - cell_start,
+                    }
+                )
+            say(f"[{name}] evaluated {controller_name} under {len(list(perturbations))} regime(s)")
+
+        if train and verify:
+            from repro.verification.sweep import SweepJob
+
+            parameters = dict(spec.verify_budget)
+            parameters.update(verify_overrides or {})
+            sweep_jobs.append(
+                SweepJob.from_network(
+                    name=f"kappa_star@{name}",
+                    system=name,
+                    network=controllers["kappa_star"].network,
+                    **parameters,
+                )
+            )
+
+    if sweep_jobs:
+        from repro.verification.sweep import VerificationSweep
+
+        say(f"verifying {len(sweep_jobs)} student(s) across {max(1, jobs)} process(es)")
+        sweep_report = VerificationSweep(sweep_jobs, processes=jobs or None, engine=engine).run()
+        for name, result in zip(names, sweep_report.results):
+            row = {
+                "scenario": name,
+                "controller": "kappa_star",
+                "cell": "verify",
+                "status": result.status,
+                "seconds": result.elapsed_seconds,
+            }
+            if result.error:
+                row["error"] = result.error
+            summary = dict(result.summary)
+            summary.pop("controller", None)  # the row's controller column is the matrix name
+            row.update(summary)
+            report.rows.append(row)
+
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

@@ -2,8 +2,12 @@
 
 This package replaces the OpenAI-gym environments used by the paper with
 direct implementations of the three discrete-time nonlinear systems defined
-in Section IV: the Van der Pol oscillator, the 3-D polynomial system from
-Sassi et al. (example 15), and the cartpole.
+in Section IV -- the Van der Pol oscillator, the 3-D polynomial system from
+Sassi et al. (example 15), and the cartpole -- plus the catalog extensions
+(inverted pendulum, adaptive cruise control).  Which plants exist, and how
+:func:`make_system` resolves a name, is decided by the scenario registry
+(:mod:`repro.scenarios`): registering a new scenario makes it available
+here, to the expert factory, to the verifier and to the CLI at once.
 """
 
 from repro.systems.sets import Box
@@ -12,6 +16,8 @@ from repro.systems.base import ControlSystem
 from repro.systems.vanderpol import VanDerPolOscillator
 from repro.systems.linear3d import ThreeDimensionalSystem
 from repro.systems.cartpole import CartPole
+from repro.systems.pendulum import InvertedPendulum
+from repro.systems.acc import AdaptiveCruiseControl
 from repro.systems.simulation import (
     EvaluationResult,
     Trajectory,
@@ -32,6 +38,8 @@ __all__ = [
     "VanDerPolOscillator",
     "ThreeDimensionalSystem",
     "CartPole",
+    "InvertedPendulum",
+    "AdaptiveCruiseControl",
     "Trajectory",
     "TrajectoryBatch",
     "EvaluationResult",
@@ -42,23 +50,18 @@ __all__ = [
     "control_energy",
     "sample_initial_states",
     "make_system",
-    "SYSTEM_REGISTRY",
 ]
 
 
-SYSTEM_REGISTRY = {
-    "vanderpol": VanDerPolOscillator,
-    "oscillator": VanDerPolOscillator,
-    "3d": ThreeDimensionalSystem,
-    "three_dimensional": ThreeDimensionalSystem,
-    "cartpole": CartPole,
-}
-
-
 def make_system(name: str, **kwargs) -> ControlSystem:
-    """Instantiate one of the paper's three test systems by name."""
+    """Instantiate a registered scenario's plant by name.
 
-    key = name.lower()
-    if key not in SYSTEM_REGISTRY:
-        raise ValueError(f"unknown system {name!r}; choose from {sorted(set(SYSTEM_REGISTRY))}")
-    return SYSTEM_REGISTRY[key](**kwargs)
+    Resolution goes through the scenario registry, so aliases
+    (``"oscillator"``) and parameter-overridable variants
+    (``"vanderpol?mu=1.5"``) work everywhere a system name is accepted;
+    explicit keyword arguments win over variant overrides.
+    """
+
+    from repro.scenarios import make_scenario_system
+
+    return make_scenario_system(name, **kwargs)

@@ -2,8 +2,15 @@
 
 Reachability needs to push a *box* of states (plus a control interval and
 the disturbance bound) through one step of each plant.  Natural interval
-extensions of the dynamics equations of Section IV are implemented here,
-keeping the plant classes themselves purely concrete.
+extensions of the dynamics equations are implemented here, keeping the
+plant classes themselves purely concrete.
+
+Which inclusion function a plant gets is decided by the scenario catalog:
+every registered :class:`~repro.scenarios.ScenarioSpec` carries an
+``interval_dynamics`` hook, and :func:`interval_dynamics_batch` looks the
+plant up by its ``name``.  The functions below are the hooks the built-in
+catalog registers (one per bundled plant); a plant with no registered hook
+falls back to the sampled corner enclosure, which is *not* sound in general.
 
 The inclusion functions are written **batched-native**: every state
 component is addressed with ``[..., i]`` slices, so the same formulas push
@@ -16,15 +23,16 @@ elementwise.
 
 from __future__ import annotations
 
-from typing import Sequence
+import warnings
+from typing import Sequence, Set
 
 import numpy as np
 
 from repro.systems.base import ControlSystem
-from repro.systems.cartpole import CartPole
-from repro.systems.linear3d import ThreeDimensionalSystem
-from repro.systems.vanderpol import VanDerPolOscillator
 from repro.verification.intervals import Interval
+
+#: Plant names already warned about falling back to the sampled enclosure.
+_WARNED_UNSOUND: Set[str] = set()
 
 
 def _stack_components(components: Sequence[Interval]) -> Interval:
@@ -47,14 +55,28 @@ def interval_dynamics_batch(
     ``controls`` has shape ``(N, control_dim)``; ``disturbance`` is the
     shared ``(state_dim,)`` (or per-plant) disturbance bound, broadcast
     across the stack.  Returns an ``(N, state_dim)`` interval.
+
+    The inclusion function is resolved through the scenario registry by the
+    plant's ``name``; unregistered plants fall back to the (unsound) sampled
+    enclosure.
     """
 
-    if isinstance(system, VanDerPolOscillator):
-        return _vanderpol_interval(system, states, controls, disturbance)
-    if isinstance(system, ThreeDimensionalSystem):
-        return _three_dimensional_interval(system, states, controls, disturbance)
-    if isinstance(system, CartPole):
-        return _cartpole_interval(system, states, controls, disturbance)
+    from repro.scenarios import find_scenario
+
+    name = getattr(system, "name", None)
+    spec = find_scenario(name)
+    if spec is not None and spec.interval_dynamics is not None:
+        return spec.interval_dynamics(system, states, controls, disturbance)
+    if name not in _WARNED_UNSOUND:
+        _WARNED_UNSOUND.add(name)
+        warnings.warn(
+            f"no interval inclusion function registered for system {name!r}: "
+            "falling back to the sampled corner enclosure, which is NOT a sound "
+            "over-approximation; register a scenario with interval_dynamics to "
+            "get trustworthy verification verdicts",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return _sampled_interval_batch(system, states, controls, disturbance)
 
 
@@ -80,8 +102,8 @@ def interval_dynamics(
     return Interval(batched.lower[0], batched.upper[0])
 
 
-def _vanderpol_interval(
-    system: VanDerPolOscillator, state: Interval, control: Interval, disturbance: Interval
+def vanderpol_interval(
+    system, state: Interval, control: Interval, disturbance: Interval
 ) -> Interval:
     s1 = state[..., 0]
     s2 = state[..., 1]
@@ -94,8 +116,8 @@ def _vanderpol_interval(
     return _stack_components([next_s1, next_s2])
 
 
-def _three_dimensional_interval(
-    system: ThreeDimensionalSystem, state: Interval, control: Interval, disturbance: Interval
+def three_dimensional_interval(
+    system, state: Interval, control: Interval, disturbance: Interval
 ) -> Interval:
     x, y, z = state[..., 0], state[..., 1], state[..., 2]
     u = control[..., 0]
@@ -109,8 +131,8 @@ def _three_dimensional_interval(
     return result
 
 
-def _cartpole_interval(
-    system: CartPole, state: Interval, control: Interval, disturbance: Interval
+def cartpole_interval(
+    system, state: Interval, control: Interval, disturbance: Interval
 ) -> Interval:
     position, velocity = state[..., 0], state[..., 1]
     angle, angular_velocity = state[..., 2], state[..., 3]
@@ -145,15 +167,48 @@ def _cartpole_interval(
     return next_state
 
 
+def pendulum_interval(
+    system, state: Interval, control: Interval, disturbance: Interval
+) -> Interval:
+    theta = state[..., 0]
+    omega = state[..., 1]
+    u = control[..., 0]
+    w = disturbance[..., 0] if len(disturbance) else Interval.point(0.0)
+    tau = system.dt
+    accel = (
+        theta.sin().scale(system.gravity / system.length)
+        - omega.scale(system.damping)
+        + u.scale(1.0 / system.inertia)
+    )
+    next_theta = theta + omega.scale(tau)
+    next_omega = omega + accel.scale(tau) + w
+    return _stack_components([next_theta, next_omega])
+
+
+def acc_interval(
+    system, state: Interval, control: Interval, disturbance: Interval
+) -> Interval:
+    gap = state[..., 0]
+    velocity = state[..., 1]
+    acceleration = state[..., 2]
+    u = control[..., 0]
+    w = disturbance[..., 0] if len(disturbance) else Interval.point(0.0)
+    tau = system.dt
+    next_gap = gap + velocity.scale(tau)
+    next_velocity = velocity + acceleration.scale(-tau) + w
+    next_acceleration = acceleration.scale(1.0 - tau / system.lag) + u.scale(tau / system.lag)
+    return _stack_components([next_gap, next_velocity, next_acceleration])
+
+
 def _sampled_interval(
     system: ControlSystem, state: Interval, control: Interval, disturbance: Interval, samples_per_dim: int = 3
 ) -> Interval:
-    """Fallback for plants without an analytic inclusion function.
+    """Fallback for plants without a registered inclusion function.
 
     Evaluates the concrete dynamics on a grid of state/control corners and
     takes the bounding box, then inflates by the disturbance width.  This is
     *not* a sound over-approximation in general (documented in DESIGN.md),
-    but it is only used for user-supplied systems outside the paper's three.
+    but it is only used for user-supplied systems outside the catalog.
     """
 
     state_box = state.to_box()

@@ -23,6 +23,14 @@ from repro.experts import make_default_experts  # noqa: E402
 from repro.systems import CartPole, ThreeDimensionalSystem, VanDerPolOscillator  # noqa: E402
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "scenario_smoke: fast train->evaluate->verify cell for every registered scenario "
+        "(the `make scenario-smoke` selection)",
+    )
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)

@@ -14,11 +14,48 @@ class TestParser:
         args = build_parser().parse_args(["train", "--output", str(tmp_path / "out")])
         assert args.command == "train"
         assert args.system == "vanderpol"
-        assert args.mixing_epochs == 10
+        # Budget flags default to None at parse time; the command resolves
+        # them through the scenario's train_budget hints.
+        assert args.mixing_epochs is None
+
+    def test_budget_resolution_prefers_explicit_then_hint(self):
+        from repro.cli import _resolve_budget
+
+        hints = {"mixing_epochs": 3}
+        assert _resolve_budget(7, hints, "mixing_epochs", 10) == 7
+        assert _resolve_budget(None, hints, "mixing_epochs", 10) == 3
+        assert _resolve_budget(None, {}, "mixing_epochs", 10) == 10
 
     def test_unknown_system_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--system", "quadrotor", "--output", str(tmp_path)])
+
+    def test_registered_scenarios_accepted(self, tmp_path):
+        for name in ("pendulum", "acc", "oscillator"):
+            args = build_parser().parse_args(["train", "--system", name, "--output", str(tmp_path)])
+            assert args.system == name
+
+    def test_variant_system_accepted(self, tmp_path):
+        args = build_parser().parse_args(
+            ["train", "--system", "vanderpol?mu=1.5", "--output", str(tmp_path)]
+        )
+        assert args.system == "vanderpol?mu=1.5"
+
+    def test_controller_accepts_any_name(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--controller-dir", "runs/x", "--controller", "kappa_custom"]
+        )
+        assert args.controller == "kappa_custom"
+
+    def test_scenarios_subcommand_parses(self):
+        args = build_parser().parse_args(["scenarios", "list"])
+        assert args.command == "scenarios" and args.scenario_command == "list"
+        args = build_parser().parse_args(["scenarios", "run", "--scenario", "pendulum", "--no-train"])
+        assert args.scenario == ["pendulum"] and args.no_train
+
+    def test_scenarios_run_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "run", "--scenario", "quadrotor"])
 
     def test_verify_sweep_defaults(self):
         args = build_parser().parse_args(["verify-sweep", "--spec", "vanderpol:runs/vdp"])
@@ -155,6 +192,54 @@ class TestEndToEnd:
         rows = csv_path.read_text().splitlines()
         assert rows[0].startswith("job,system,status")
         assert len(rows) == 3
+
+    def test_evaluate_unknown_controller_lists_available(self, trained_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "evaluate",
+                    "--system",
+                    "vanderpol",
+                    "--controller-dir",
+                    str(trained_dir),
+                    "--controller",
+                    "kappa_bogus",
+                ]
+            )
+        message = str(excinfo.value)
+        assert "kappa_bogus" in message
+        assert "kappa_star" in message  # the error lists what was found
+
+    def test_scenarios_list_command(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("vanderpol", "3d", "cartpole", "pendulum", "acc"):
+            assert name in output
+
+    def test_scenarios_run_evaluate_only(self, tmp_path, capsys):
+        csv_path = tmp_path / "matrix.csv"
+        exit_code = main(
+            [
+                "scenarios",
+                "run",
+                "--scenario",
+                "pendulum",
+                "--scenario",
+                "acc",
+                "--no-train",
+                "--no-verify",
+                "--samples",
+                "4",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "pendulum" in output and "acc" in output and "wall clock" in output
+        rows = csv_path.read_text().splitlines()
+        # header + 2 scenarios x 2 experts x 3 perturbations
+        assert len(rows) == 13
 
     def test_verify_sweep_explicit_spec_and_pool(self, trained_dir, capsys):
         exit_code = main(

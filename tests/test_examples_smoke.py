@@ -42,6 +42,13 @@ class TestExamples:
         assert "Lipschitz constants" in result.stdout
         assert "Sr attack (%)" in result.stdout
 
+    def test_scenario_matrix_example(self):
+        result = run_example("scenario_matrix.py", "--samples", "6")
+        assert result.returncode == 0, result.stderr
+        assert "registered scenario 'double-integrator'" in result.stdout
+        assert "double-integrator" in result.stdout and "pendulum" in result.stdout
+        assert "cells over 3 scenario(s)" in result.stdout
+
     def test_module_cli_help(self):
         result = subprocess.run(
             [sys.executable, "-m", "repro", "--help"], capture_output=True, text=True, cwd=REPO_ROOT

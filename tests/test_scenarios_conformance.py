@@ -1,0 +1,141 @@
+"""Shared conformance suite: every registered scenario must satisfy these.
+
+Parametrized over the live registry, so a newly registered scenario is
+covered automatically:
+
+* batched dynamics are bit-identical to the scalar dynamics row for row;
+* ``is_safe_batch`` agrees with per-row ``is_safe``;
+* the registered interval inclusion function is Monte-Carlo sound: sampled
+  one-step images of random sub-boxes land inside the interval image;
+* the default expert pair exists, is named ``kappa1``/``kappa2`` and maps
+  batched states to batched controls;
+* the disturbance model's batch sampler matches its bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experts import make_default_experts
+from repro.scenarios import get_scenario, list_scenarios
+from repro.verification.intervals import Interval
+from repro.verification.system_models import interval_dynamics, interval_dynamics_batch
+
+SCENARIOS = list_scenarios()
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    """One (spec, system) pair per registered scenario, built once."""
+
+    return {name: (get_scenario(name), get_scenario(name).make_system()) for name in SCENARIOS}
+
+
+def _random_subboxes(system, rng, count, max_fraction=0.1):
+    """Small random boxes inside the safe region, as (low, high) arrays."""
+
+    lows, highs = [], []
+    for _ in range(count):
+        center = system.safe_region.sample(rng)
+        half = system.safe_region.widths * rng.uniform(0.02, max_fraction) / 2.0
+        lows.append(np.maximum(center - half, system.safe_region.low))
+        highs.append(np.minimum(center + half, system.safe_region.high))
+    return np.asarray(lows), np.asarray(highs)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+class TestScenarioConformance:
+    def test_batched_dynamics_bit_identical(self, name, bundles):
+        _, system = bundles[name]
+        rng = np.random.default_rng(0)
+        states = system.safe_region.sample(rng, count=24)
+        controls = system.control_bound.sample(rng, count=24)
+        disturbances = system.disturbance.sample_batch(rng, count=24)
+        batched = system.dynamics_batch(states, controls, disturbances)
+        assert batched.shape == (24, system.state_dim)
+        for row in range(24):
+            scalar = system.dynamics(states[row], controls[row], disturbances[row])
+            np.testing.assert_array_equal(batched[row], scalar)
+
+    def test_is_safe_batch_consistent(self, name, bundles):
+        _, system = bundles[name]
+        rng = np.random.default_rng(1)
+        inside = system.safe_region.sample(rng, count=16)
+        outside = system.safe_region.sample(rng, count=16) + 2.5 * system.safe_region.widths
+        states = np.concatenate([inside, outside], axis=0)
+        mask = system.is_safe_batch(states)
+        assert mask.shape == (32,)
+        for row in range(32):
+            assert mask[row] == system.is_safe(states[row])
+
+    def test_interval_inclusion_function_sound(self, name, bundles):
+        spec, system = bundles[name]
+        assert spec.interval_dynamics is not None, "catalog scenarios must register an inclusion fn"
+        rng = np.random.default_rng(2)
+        lows, highs = _random_subboxes(system, rng, count=12)
+        control_lows = system.control_bound.sample(rng, count=12)
+        control_highs = np.minimum(
+            control_lows + 0.2 * system.control_bound.widths, system.control_bound.high
+        )
+        disturbance_box = system.disturbance.bound()
+        image = interval_dynamics_batch(
+            system,
+            Interval(lows, highs),
+            Interval(control_lows, control_highs),
+            Interval(disturbance_box.low, disturbance_box.high),
+        )
+        assert image.lower.shape == (12, system.state_dim)
+        for box_index in range(12):
+            states = rng.uniform(lows[box_index], highs[box_index], size=(40, system.state_dim))
+            controls = rng.uniform(
+                control_lows[box_index], control_highs[box_index], size=(40, system.control_dim)
+            )
+            disturbances = rng.uniform(
+                disturbance_box.low, disturbance_box.high, size=(40, disturbance_box.dimension)
+            )
+            images = system.dynamics_batch(states, controls, disturbances)
+            assert np.all(images >= image.lower[box_index] - 1e-9), f"{name} box {box_index}"
+            assert np.all(images <= image.upper[box_index] + 1e-9), f"{name} box {box_index}"
+
+    def test_interval_scalar_is_batch_of_one(self, name, bundles):
+        _, system = bundles[name]
+        rng = np.random.default_rng(3)
+        lows, highs = _random_subboxes(system, rng, count=1)
+        control = Interval(system.control_bound.low, system.control_bound.high)
+        disturbance_box = system.disturbance.bound()
+        disturbance = Interval(disturbance_box.low, disturbance_box.high)
+        scalar = interval_dynamics(system, Interval(lows[0], highs[0]), control, disturbance)
+        batched = interval_dynamics_batch(
+            system,
+            Interval(lows, highs),
+            Interval(control.lower[None, :], control.upper[None, :]),
+            disturbance,
+        )
+        np.testing.assert_array_equal(scalar.lower, batched.lower[0])
+        np.testing.assert_array_equal(scalar.upper, batched.upper[0])
+
+    def test_expert_pair_conforms(self, name, bundles):
+        _, system = bundles[name]
+        experts = make_default_experts(system)
+        assert len(experts) >= 2
+        assert experts[0].name == "kappa1"
+        assert experts[1].name == "kappa2"
+        states = np.stack([system.initial_set.center] * 5)
+        for expert in experts:
+            scalar = expert(system.initial_set.center)
+            assert scalar.shape == (system.control_dim,)
+            batched = expert.batch_control(states)
+            assert batched.shape == (5, system.control_dim)
+            np.testing.assert_allclose(batched[0], scalar, atol=1e-12)
+
+    def test_disturbance_batch_within_bound(self, name, bundles):
+        _, system = bundles[name]
+        rng = np.random.default_rng(4)
+        draws = system.disturbance.sample_batch(rng, count=32)
+        bound = system.disturbance.bound()
+        assert draws.shape == (32, bound.dimension)
+        assert np.all(draws >= bound.low - 1e-12)
+        assert np.all(draws <= bound.high + 1e-12)
+
+    def test_initial_set_inside_safe_region(self, name, bundles):
+        _, system = bundles[name]
+        assert system.safe_region.contains_box(system.initial_set)
