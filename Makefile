@@ -1,19 +1,24 @@
 # Developer entry points.  `test` wraps the tier-1 verification command used
-# by CI and the roadmap; `scenario-smoke` runs the fast train->evaluate->verify
-# cell for every registered scenario (also collected by `test` via the
-# scenario_smoke pytest marker); `bench` regenerates the paper's
-# tables/figures at the quick scale; `verify-bench` re-times the
-# scalar-vs-batched verification engines and refreshes the committed CSV;
-# `lint` is a fast syntax gate (no third-party linter is vendored into the
-# image).
+# by CI and the roadmap; `test-fast` is the inner-loop subset (unit tests
+# only: no scenario_smoke cells, no benchmarks); `scenario-smoke` runs the
+# fast train->evaluate->verify cell for every registered scenario (also
+# collected by `test` via the scenario_smoke pytest marker); `bench`
+# regenerates the paper's tables/figures at the quick scale; `verify-bench`
+# re-times the scalar-vs-batched verification engines and refreshes the
+# committed CSV; `train-bench` does the same for the scalar-vs-vectorized
+# training stages; `lint` is a fast syntax gate (no third-party linter is
+# vendored into the image).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test scenario-smoke bench verify-bench lint
+.PHONY: test test-fast scenario-smoke bench verify-bench train-bench lint
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not scenario_smoke" tests
 
 scenario-smoke:
 	REPRO_SCALE=quick $(PYTHON) -m pytest -q -m scenario_smoke tests
@@ -23,6 +28,9 @@ bench:
 
 verify-bench:
 	REPRO_RECORD=1 $(PYTHON) -m pytest -q -s benchmarks/test_verification_speed.py
+
+train-bench:
+	REPRO_RECORD=1 $(PYTHON) -m pytest -q -s benchmarks/test_training_speed.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

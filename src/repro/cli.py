@@ -113,6 +113,24 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--distill-epochs", type=int, default=None, help=f"distillation epochs {hint}")
     train.add_argument("--dataset-size", type=int, default=None, help=f"distillation dataset size {hint}")
     train.add_argument("--eval-samples", type=int, default=None, help=f"Monte-Carlo evaluation samples {hint}")
+    # Vectorization widths default to the scenario hint and then to the
+    # CPU-derived defaults of repro.utils.parallel; 1 = the scalar training
+    # path (bit-identical to the historical per-step/per-sample loops).
+    train.add_argument(
+        "--num-envs",
+        type=int,
+        default=None,
+        help="parallel PPO mixing environments advanced in lockstep "
+        "(default: scenario hint, then a CPU-derived width; 1 = scalar path)",
+    )
+    train.add_argument(
+        "--train-batch-size",
+        type=int,
+        default=None,
+        help="lockstep teacher rollouts / labels per batched query during "
+        "distillation dataset collection (default: scenario hint, then a "
+        "CPU-derived width; 1 = scalar path)",
+    )
     train.add_argument(
         "--eval-batch-size",
         type=int,
@@ -241,6 +259,7 @@ def _resolve_budget(explicit, hints, key, fallback):
 
 def _command_train(args: argparse.Namespace) -> int:
     from repro.scenarios import get_scenario
+    from repro.utils.parallel import default_num_envs, default_train_batch_size
 
     set_global_seed(args.seed)
     system = make_system(args.system)
@@ -250,6 +269,7 @@ def _command_train(args: argparse.Namespace) -> int:
         mixing=MixingConfig(
             epochs=_resolve_budget(args.mixing_epochs, hints, "mixing_epochs", 10),
             steps_per_epoch=_resolve_budget(args.mixing_steps, hints, "mixing_steps", 1024),
+            num_envs=_resolve_budget(args.num_envs, hints, "num_envs", default_num_envs()),
             seed=args.seed,
         ),
         distillation=DistillationConfig(
@@ -258,6 +278,9 @@ def _command_train(args: argparse.Namespace) -> int:
             hidden_sizes=(32, 32),
             l2_weight=5e-3,
             trajectory_fraction=float(hints.get("trajectory_fraction", 0.6)),
+            train_batch_size=_resolve_budget(
+                args.train_batch_size, hints, "train_batch_size", default_train_batch_size()
+            ),
             seed=args.seed,
         ),
         evaluation=EvaluationConfig(

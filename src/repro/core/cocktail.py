@@ -89,7 +89,11 @@ class CocktailPipeline:
         return mixed
 
     def collect_dataset(self, teacher: Controller) -> DistillationDataset:
-        """Step 2: query the teacher over trajectories and the safe region."""
+        """Step 2: query the teacher over trajectories and the safe region.
+
+        Teacher rollouts and label queries run ``train_batch_size`` wide
+        (``1`` reproduces the historical scalar collection bit for bit).
+        """
 
         return collect_distillation_dataset(
             self.system,
@@ -97,6 +101,7 @@ class CocktailPipeline:
             size=self.config.distillation.dataset_size,
             trajectory_fraction=self.config.distillation.trajectory_fraction,
             rng=self._rng,
+            batch_size=self.config.distillation.train_batch_size,
         )
 
     def distill(self, dataset: DistillationDataset, robust: bool = True) -> NeuralController:

@@ -26,6 +26,11 @@ class MixingConfig:
     #: PPO epochs N and steps per epoch.
     epochs: int = 30
     steps_per_epoch: int = 2048
+    #: Parallel mixing environments advanced in lockstep during PPO rollout
+    #: collection (the :class:`repro.rl.env.VecMixingEnv` width).  ``1`` is
+    #: the scalar path, bit-identical to the historical per-step loop for
+    #: the same seed; DDPG ignores this (its collection stays scalar).
+    num_envs: int = 1
     #: Reward shaping: punishment on safety violation and energy weight.
     punishment: float = -100.0
     energy_weight: float = 0.05
@@ -49,11 +54,14 @@ class MixingConfig:
             raise ValueError("the paper requires AB_i >= 1 so a single expert is representable")
         if self.algorithm not in ("ppo", "ddpg"):
             raise ValueError("algorithm must be 'ppo' or 'ddpg'")
+        if self.num_envs <= 0:
+            raise ValueError("num_envs must be positive")
 
     def ppo_config(self) -> PPOConfig:
         return PPOConfig(
             epochs=self.epochs,
             steps_per_epoch=self.steps_per_epoch,
+            num_envs=self.num_envs,
             gamma=self.gamma,
             policy_lr=self.policy_lr,
             value_lr=self.value_lr,
@@ -73,7 +81,14 @@ class DistillationConfig:
     activation: str = "tanh"
     #: Number of training epochs over the distillation dataset.
     epochs: int = 200
+    #: SGD minibatch size for the student's forward/backward passes.
     batch_size: int = 128
+    #: Batch width of the *dataset generation* stage: how many teacher
+    #: trajectories roll out in lockstep and how many states are labelled
+    #: per batched teacher query.  ``1`` is the scalar path (bit-identical
+    #: to the historical per-trajectory/per-state loops for the same seed);
+    #: larger values run dataset collection at array speed.
+    train_batch_size: int = 1
     learning_rate: float = 1e-3
     #: Perturbation bound Delta for the FGSM adversarial examples, expressed
     #: as a fraction of the system state value bound (the paper attacks with
@@ -102,6 +117,8 @@ class DistillationConfig:
             raise ValueError("trajectory_fraction must be in [0, 1]")
         if self.dataset_size <= 0:
             raise ValueError("dataset_size must be positive")
+        if self.train_batch_size <= 0:
+            raise ValueError("train_batch_size must be positive")
 
 
 @dataclass
@@ -159,17 +176,27 @@ class CocktailConfig:
         ``hints`` is the ``train_budget`` mapping of a
         :class:`repro.scenarios.ScenarioSpec` (``mixing_epochs``,
         ``mixing_steps``, ``distill_epochs``, ``dataset_size``,
-        ``trajectory_fraction``, ``eval_samples``); missing keys fall back
-        to the historical CLI defaults below (the same table the CLI's
-        budget flags fall back to), so a spec only states what is
-        scenario-specific.
+        ``trajectory_fraction``, ``eval_samples``, ``num_envs``,
+        ``train_batch_size``); missing keys fall back to the historical CLI
+        defaults below (the same table the CLI's budget flags fall back
+        to), so a spec only states what is scenario-specific.
+
+        Unlike the raw dataclasses (whose ``num_envs=1`` /
+        ``train_batch_size=1`` defaults preserve the scalar training path),
+        budget-hint configs default to the *vectorized* trainer: the
+        ``num_envs`` and ``train_batch_size`` fallbacks are derived from
+        the machine via :mod:`repro.utils.parallel`, which is what ``repro
+        train`` and the scenario matrix runner want.
         """
+
+        from repro.utils.parallel import default_num_envs, default_train_batch_size
 
         hints = dict(hints or {})
         return cls(
             mixing=MixingConfig(
                 epochs=int(hints.get("mixing_epochs", 10)),
                 steps_per_epoch=int(hints.get("mixing_steps", 1024)),
+                num_envs=int(hints.get("num_envs", default_num_envs())),
                 seed=seed,
             ),
             distillation=DistillationConfig(
@@ -178,6 +205,7 @@ class CocktailConfig:
                 hidden_sizes=tuple(hints.get("hidden_sizes", (32, 32))),
                 l2_weight=float(hints.get("l2_weight", 5e-3)),
                 trajectory_fraction=float(hints.get("trajectory_fraction", 0.6)),
+                train_batch_size=int(hints.get("train_batch_size", default_train_batch_size())),
                 seed=seed,
             ),
             evaluation=EvaluationConfig(samples=int(hints.get("eval_samples", 150))),

@@ -31,7 +31,7 @@ from repro.nn.lipschitz import network_lipschitz
 from repro.nn.network import MLP
 from repro.nn.optim import Adam
 from repro.systems.base import ControlSystem
-from repro.systems.simulation import rollout
+from repro.systems.simulation import batch_controls, rollout_batch, sample_initial_states
 from repro.utils.logging import TrainingLogger
 from repro.utils.seeding import RngLike, get_rng
 
@@ -78,6 +78,7 @@ def collect_distillation_dataset(
     size: int,
     trajectory_fraction: float = 0.5,
     rng: RngLike = None,
+    batch_size: int = 1,
 ) -> DistillationDataset:
     """Build the regression dataset by querying the teacher.
 
@@ -86,19 +87,35 @@ def collect_distillation_dataset(
     operate in) and the rest from uniform sampling of the safe region (so the
     student generalises over all of ``X``, which the verification step
     requires).
+
+    ``batch_size`` is the vectorization width: how many teacher rollouts
+    advance in lockstep (via :func:`repro.systems.simulation.rollout_batch`)
+    and how many states each batched teacher-label query covers.  The
+    default ``1`` consumes the random stream exactly like the historical
+    per-trajectory/per-state loops (bit-identical datasets for the same
+    seed); larger values are statistically equivalent, not bitwise (the
+    stream is consumed step-major across the lockstep rollouts).
     """
 
     if size <= 0:
         raise ValueError("size must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
     generator = get_rng(rng)
     trajectory_count = int(size * trajectory_fraction)
-    states = []
+    states: list = []
 
     while len(states) < trajectory_count:
-        initial_state = system.sample_initial_state(generator)
-        trajectory = rollout(system, teacher, initial_state, rng=generator)
-        for state in trajectory.states:
-            if system.is_safe(state):
+        remaining = trajectory_count - len(states)
+        # One safe trajectory contributes at most horizon + 1 states; roll
+        # just enough members in lockstep to plausibly cover the remainder.
+        chunk = min(batch_size, max(1, -(-remaining // (system.horizon + 1))))
+        initial_states = sample_initial_states(system, chunk, rng=generator)
+        batch = rollout_batch(system, teacher, initial_states, rng=generator)
+        for index in range(chunk):
+            trajectory = batch.trajectory(index)
+            safe_mask = system.is_safe_batch(trajectory.states)
+            for state in trajectory.states[safe_mask][: trajectory_count - len(states)]:
                 states.append(state)
             if len(states) >= trajectory_count:
                 break
@@ -109,7 +126,13 @@ def collect_distillation_dataset(
         states.extend(list(uniform))
 
     states = np.asarray(states[:size])
-    controls = np.stack([system.clip_control(np.atleast_1d(teacher(state))) for state in states], axis=0)
+    controls = np.concatenate(
+        [
+            system.clip_control_batch(batch_controls(teacher, states[start : start + batch_size]))
+            for start in range(0, len(states), batch_size)
+        ],
+        axis=0,
+    )
     return DistillationDataset(states, controls)
 
 

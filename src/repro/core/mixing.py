@@ -21,11 +21,12 @@ import numpy as np
 from repro.core.config import MixingConfig
 from repro.experts.base import Controller
 from repro.rl.ddpg import DDPGConfig, DDPGTrainer
-from repro.rl.env import ControlEnv, RewardFunction
+from repro.rl.env import ControlEnv, RewardFunction, VecMixingEnv
 from repro.rl.policies import DeterministicMLPPolicy, GaussianMLPPolicy
 from repro.rl.ppo import PPOTrainer
 from repro.rl.spaces import BoxSpace
 from repro.systems.base import ControlSystem
+from repro.systems.simulation import weighted_expert_controls
 from repro.utils.logging import TrainingLogger
 from repro.utils.seeding import RngLike, get_rng
 
@@ -68,6 +69,11 @@ class AdaptiveMixingEnv(ControlEnv):
             control = control + weight * np.atleast_1d(expert(state))
         return self.system.clip_control(control)
 
+    def vectorized(self, num_envs: int) -> VecMixingEnv:
+        """The ``N``-environment lockstep mixing environment (same MDP)."""
+
+        return VecMixingEnv(self, num_envs, self.experts, self.weight_bounds)
+
 
 class MixedController(Controller):
     """The mixed controller design ``A_W``: weight policy + experts + clip.
@@ -106,6 +112,30 @@ class MixedController(Controller):
         for weight, expert in zip(weights, self.experts):
             control = control + weight * np.atleast_1d(expert(state))
         return self.system.clip_control(control)
+
+    def weights_batch(self, states: np.ndarray) -> np.ndarray:
+        """Dynamically-assigned weights for an ``(N, state_dim)`` batch."""
+
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if isinstance(self.policy, GaussianMLPPolicy):
+            raw = self.policy.mean_actions(states)
+        else:
+            raw = self.policy.act_batch(states, noise_scale=0.0)
+        return np.clip(np.atleast_2d(raw), -self.weight_bounds, self.weight_bounds)
+
+    def batch_control(self, states: np.ndarray) -> np.ndarray:
+        """Vectorised teacher evaluation: one policy forward pass and one
+        batched query per expert for a whole ``(N, state_dim)`` batch.
+
+        Row ``i`` equals :meth:`control` on ``states[i]`` (the distillation
+        and evaluation harnesses rely on the batch-of-one case being
+        bit-identical to the scalar call).
+        """
+
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        weights = self.weights_batch(states)
+        controls = weighted_expert_controls(self.experts, weights, states, self.system.control_dim)
+        return self.system.clip_control_batch(controls)
 
     def num_parameters(self) -> int:
         """Size of the mixed design (policy plus neural experts), for the

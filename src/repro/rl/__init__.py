@@ -8,9 +8,9 @@ is available offline, so this package implements both algorithms on top of
 """
 
 from repro.rl.spaces import BoxSpace, DiscreteSpace
-from repro.rl.env import ControlEnv, RewardFunction
+from repro.rl.env import ControlEnv, RewardFunction, VecControlEnv, VecMixingEnv
 from repro.rl.buffers import ReplayBuffer, RolloutBuffer
-from repro.rl.gae import compute_gae, discounted_returns
+from repro.rl.gae import compute_gae, compute_gae_batch, discounted_returns
 from repro.rl.policies import (
     CategoricalMLPPolicy,
     DeterministicMLPPolicy,
@@ -26,9 +26,12 @@ __all__ = [
     "DiscreteSpace",
     "ControlEnv",
     "RewardFunction",
+    "VecControlEnv",
+    "VecMixingEnv",
     "RolloutBuffer",
     "ReplayBuffer",
     "compute_gae",
+    "compute_gae_batch",
     "discounted_returns",
     "GaussianMLPPolicy",
     "CategoricalMLPPolicy",

@@ -14,10 +14,17 @@ from repro.utils.seeding import RngLike, get_rng
 class RolloutBuffer:
     """Stores one batch of on-policy transitions for PPO.
 
-    Transitions are appended step by step; episode boundaries are recorded
-    through the ``done`` flags so GAE can reset its accumulator.  After
-    advantages are attached, :meth:`minibatches` yields shuffled index
-    batches for the policy/value updates.
+    Transitions are appended step by step -- one scalar transition at a
+    time (:meth:`add`, ``num_envs = 1``) or one ``(N, ...)`` slice of ``N``
+    parallel environments per vector step (:meth:`add_batch`).  Episode
+    boundaries are recorded through the per-environment ``done`` flags so
+    GAE can reset its accumulator column by column.  After advantages are
+    attached, :meth:`minibatches` yields shuffled index batches over the
+    flattened ``T * N`` transitions for the policy/value updates.
+
+    The flattened ordering is time-major (all environments' step ``t``
+    before any step ``t + 1``); with ``num_envs = 1`` it reduces exactly to
+    the historical scalar append order.
     """
 
     states: List[np.ndarray] = field(default_factory=list)
@@ -26,7 +33,13 @@ class RolloutBuffer:
     dones: List[bool] = field(default_factory=list)
     values: List[float] = field(default_factory=list)
     log_probs: List[float] = field(default_factory=list)
+    #: Number of parallel environments feeding the buffer.
+    num_envs: int = 1
+    #: Bootstrap value of the single environment's final observation.
     last_value: float = 0.0
+    #: Per-environment bootstrap values, shape ``(num_envs,)``; preferred
+    #: over ``last_value`` when set (the vectorized collection path sets it).
+    last_values: Optional[np.ndarray] = None
     advantages: Optional[np.ndarray] = None
     returns: Optional[np.ndarray] = None
 
@@ -39,6 +52,8 @@ class RolloutBuffer:
         value: float,
         log_prob: float,
     ) -> None:
+        if self.num_envs != 1:
+            raise RuntimeError("add() is for single-env buffers; use add_batch()")
         self.states.append(np.asarray(state, dtype=np.float64))
         self.actions.append(np.atleast_1d(np.asarray(action, dtype=np.float64)))
         self.rewards.append(float(reward))
@@ -46,10 +61,86 @@ class RolloutBuffer:
         self.values.append(float(value))
         self.log_probs.append(float(log_prob))
 
+    def add_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        dones: np.ndarray,
+        values: np.ndarray,
+        log_probs: np.ndarray,
+    ) -> None:
+        """Append one lockstep transition of all ``num_envs`` environments.
+
+        Expects ``states (N, state_dim)``, ``actions (N, action_dim)`` and
+        ``(N,)`` vectors for the scalars, where ``N == num_envs``.
+        """
+
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        actions = np.atleast_2d(np.asarray(actions, dtype=np.float64))
+        if len(states) != self.num_envs or len(actions) != self.num_envs:
+            raise ValueError(f"add_batch() expects {self.num_envs} rows, got {len(states)}")
+        self.states.append(states.copy())
+        self.actions.append(actions.copy())
+        self.rewards.append(np.asarray(rewards, dtype=np.float64).reshape(self.num_envs).copy())
+        self.dones.append(np.asarray(dones, dtype=bool).reshape(self.num_envs).copy())
+        self.values.append(np.asarray(values, dtype=np.float64).reshape(self.num_envs).copy())
+        self.log_probs.append(np.asarray(log_probs, dtype=np.float64).reshape(self.num_envs).copy())
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the buffer holds ``(N, ...)`` slices from :meth:`add_batch`."""
+
+        return bool(self.states) and np.asarray(self.states[0]).ndim == 2
+
     def __len__(self) -> int:
+        """Total stored transitions (``T * num_envs`` for a vectorized buffer)."""
+
+        if self.vectorized:
+            return len(self.rewards) * self.num_envs
         return len(self.rewards)
 
+    def time_major(self) -> Dict[str, np.ndarray]:
+        """Stacked ``(T, N, ...)`` / ``(T, N)`` views for the batched GAE.
+
+        A buffer filled through the scalar :meth:`add` path is treated as
+        ``N = 1``: the arrays gain a singleton environment axis.
+        """
+
+        horizon = len(self.rewards)
+        envs = self.num_envs if self.vectorized else 1
+        states = np.asarray(self.states, dtype=np.float64).reshape(horizon, envs, -1)
+        actions = np.asarray(self.actions, dtype=np.float64).reshape(horizon, envs, -1)
+        return {
+            "states": states,
+            "actions": actions,
+            "rewards": np.asarray(self.rewards, dtype=np.float64).reshape(horizon, envs),
+            "dones": np.asarray(self.dones, dtype=bool).reshape(horizon, envs),
+            "values": np.asarray(self.values, dtype=np.float64).reshape(horizon, envs),
+            "log_probs": np.asarray(self.log_probs, dtype=np.float64).reshape(horizon, envs),
+        }
+
+    def bootstrap_values(self) -> np.ndarray:
+        """The per-environment GAE bootstrap, shape ``(num_envs,)``."""
+
+        if self.last_values is not None:
+            return np.asarray(self.last_values, dtype=np.float64).reshape(self.num_envs)
+        return np.full(self.num_envs, float(self.last_value))
+
     def arrays(self) -> Dict[str, np.ndarray]:
+        """Flattened ``(T * N, ...)`` arrays in time-major order."""
+
+        if self.vectorized:
+            states = np.asarray(self.states)
+            actions = np.asarray(self.actions)
+            return {
+                "states": states.reshape(-1, states.shape[-1]),
+                "actions": actions.reshape(-1, actions.shape[-1]),
+                "rewards": np.asarray(self.rewards).reshape(-1),
+                "dones": np.asarray(self.dones, dtype=bool).reshape(-1),
+                "values": np.asarray(self.values).reshape(-1),
+                "log_probs": np.asarray(self.log_probs).reshape(-1),
+            }
         return {
             "states": np.asarray(self.states),
             "actions": np.asarray(self.actions),
@@ -95,6 +186,7 @@ class RolloutBuffer:
         self.advantages = None
         self.returns = None
         self.last_value = 0.0
+        self.last_values = None
 
 
 class ReplayBuffer:

@@ -77,9 +77,42 @@ class GaussianMLPPolicy(Module):
         )
         return np.clip(action, self.action_low, self.action_high), log_prob
 
+    def act_batch(
+        self, states: np.ndarray, rng: RngLike = None, deterministic: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample one clipped action per row of ``states``.
+
+        The vectorised counterpart of :meth:`act`: one ``(N, state_dim)``
+        forward pass and one ``(N, action_dim)`` noise draw.  With ``N = 1``
+        it consumes the generator stream exactly like a single :meth:`act`
+        call and returns the same action/log-probability bit for bit.
+        Returns ``(actions (N, action_dim), log_probs (N,))``.
+        """
+
+        generator = get_rng(rng)
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        mean = np.atleast_2d(self.mean_net.predict(states))
+        std = np.exp(self.log_std.data)
+        if deterministic:
+            actions = mean
+        else:
+            actions = mean + std * generator.normal(size=(len(states), self.action_dim))
+        log_probs = np.sum(
+            -0.5 * ((actions - mean) / std) ** 2 - np.log(std) - 0.5 * np.log(2.0 * np.pi),
+            axis=1,
+        )
+        return np.clip(actions, self.action_low, self.action_high), log_probs
+
     def mean_action(self, state: np.ndarray) -> np.ndarray:
         mean = self.mean_net.predict(np.asarray(state, dtype=np.float64))
         return np.clip(mean, self.action_low, self.action_high)
+
+    def mean_actions(self, states: np.ndarray) -> np.ndarray:
+        """Deterministic (mean) actions for an ``(N, state_dim)`` batch."""
+
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        means = np.atleast_2d(self.mean_net.predict(states))
+        return np.clip(means, self.action_low, self.action_high)
 
 
 class CategoricalMLPPolicy(Module):
@@ -127,6 +160,32 @@ class CategoricalMLPPolicy(Module):
             action = int(generator.choice(self.num_actions, p=probabilities))
         return action, float(np.log(probabilities[action] + 1e-12))
 
+    def act_batch(
+        self, states: np.ndarray, rng: RngLike = None, deterministic: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample one action per row of ``states``.
+
+        Returns ``(actions (N,) int, log_probs (N,))``.  With ``N = 1`` the
+        generator stream and the sampled action match a single :meth:`act`
+        call (one ``choice`` draw per row, in row order).
+        """
+
+        generator = get_rng(rng)
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        logits = np.atleast_2d(self.logits_net.predict(states))
+        logits = logits - np.max(logits, axis=1, keepdims=True)
+        probabilities = np.exp(logits)
+        probabilities /= probabilities.sum(axis=1, keepdims=True)
+        if deterministic:
+            actions = np.argmax(probabilities, axis=1)
+        else:
+            actions = np.array(
+                [int(generator.choice(self.num_actions, p=row)) for row in probabilities]
+            )
+        rows = np.arange(len(states))
+        log_probs = np.log(probabilities[rows, actions] + 1e-12)
+        return actions, log_probs
+
     def probabilities(self, state: np.ndarray) -> np.ndarray:
         logits = self.logits_net.predict(np.asarray(state, dtype=np.float64))
         logits = logits - np.max(logits)
@@ -171,6 +230,18 @@ class DeterministicMLPPolicy(Module):
         if noise_scale > 0.0:
             action = action + noise_scale * self._scale * get_rng(rng).normal(size=self.action_dim)
         return np.clip(action, self.action_low, self.action_high)
+
+    def act_batch(self, states: np.ndarray, noise_scale: float = 0.0, rng: RngLike = None) -> np.ndarray:
+        """Deterministic actions for an ``(N, state_dim)`` batch (optional
+        exploration noise, one draw per row)."""
+
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        actions = np.atleast_2d(self.net.predict(states)) * self._scale + self._offset
+        if noise_scale > 0.0:
+            actions = actions + noise_scale * self._scale * get_rng(rng).normal(
+                size=(len(states), self.action_dim)
+            )
+        return np.clip(actions, self.action_low, self.action_high)
 
 
 class ValueNetwork(Module):

@@ -44,8 +44,11 @@ register_scenario(
         expert_factory=vanderpol_experts,
         interval_dynamics=vanderpol_interval,
         aliases=("oscillator",),
-        # The historical CLI default budgets, kept so default `repro
-        # train`/`verify` runs reproduce pre-catalog behaviour exactly.
+        # The historical CLI default budgets.  Training vectorization
+        # widths (``num_envs``/``train_batch_size``) are deliberately left
+        # unset: they fall back to the CPU-derived defaults of
+        # :mod:`repro.utils.parallel`; pass ``--num-envs 1
+        # --train-batch-size 1`` for the historical scalar stream.
         train_budget=dict(
             mixing_epochs=10,
             mixing_steps=1024,
@@ -69,8 +72,8 @@ register_scenario(
         expert_factory=three_dimensional_experts,
         interval_dynamics=three_dimensional_interval,
         aliases=("three_dimensional",),
-        # The historical CLI default budgets, kept so default `repro
-        # train`/`verify` runs reproduce pre-catalog behaviour exactly.
+        # The historical CLI default budgets (vectorization widths default
+        # to repro.utils.parallel, see the vanderpol note).
         train_budget=dict(
             mixing_epochs=10,
             mixing_steps=1024,
@@ -100,6 +103,12 @@ register_scenario(
             dataset_size=2500,
             trajectory_fraction=0.7,
             eval_samples=150,
+            # Cartpole episodes die fast early in training, so a wide
+            # lockstep batch keeps the PPO collection loop busy; this also
+            # exercises the explicit-hint path of the vectorized trainer
+            # (the other specs inherit the CPU-derived defaults).
+            num_envs=16,
+            train_batch_size=128,
         ),
         # The 4-D state makes Bernstein partitioning the most expensive of
         # the catalog: keep the degree low and the error target generous.

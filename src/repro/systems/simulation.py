@@ -179,6 +179,27 @@ def batch_controls(controller: ControllerFn, states: np.ndarray) -> np.ndarray:
     )
 
 
+def weighted_expert_controls(
+    experts: Sequence[ControllerFn], weights: np.ndarray, states: np.ndarray, control_dim: int
+) -> np.ndarray:
+    """Eq. (4)'s weighted expert sum over an ``(N, state_dim)`` batch.
+
+    ``weights`` has shape ``(N, len(experts))``; the result is the unclipped
+    ``(N, control_dim)`` mixed command ``sum_i w_i(s) kappa_i(s)``.  This is
+    the single batched kernel behind both the vectorized mixing environment
+    (:class:`repro.rl.env.VecMixingEnv`) and the mixed-controller teacher
+    (:meth:`repro.core.mixing.MixedController.batch_control`), so the
+    training MDP and the distillation teacher can never diverge.
+    """
+
+    states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+    weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    controls = np.zeros((len(states), int(control_dim)))
+    for index, expert in enumerate(experts):
+        controls = controls + weights[:, index : index + 1] * batch_controls(expert, states)
+    return controls
+
+
 def _perturbation_batch(
     perturbation: PerturbationFn, states: np.ndarray, generator: np.random.Generator
 ) -> np.ndarray:

@@ -1,0 +1,68 @@
+"""CPU-aware defaults for worker pools and vectorized-batch widths.
+
+The containers this reproduction runs in are often narrow (a single CPU),
+where spawning one worker process per job oversubscribes the machine and
+*loses* wall clock to context switching.  Every component that fans work
+out -- the verification sweep's process pool, the scenario matrix runner,
+the vectorized trainer -- derives its default worker count from
+:func:`available_cpu_count` instead of hard-coding one.
+
+Vectorized *environment* counts are a different axis: ``num_envs`` is a
+lockstep batch width (one process, wider NumPy calls), not a concurrency
+level, so it may exceed the CPU count -- but it still scales with it,
+because wider batches only pay off when the BLAS underneath has cores to
+feed (and amortising Python overhead saturates quickly on one core).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Default lockstep environment width per CPU, and its cap.  On a 1-CPU
+#: container this yields 8 environments: enough to amortise the per-step
+#: Python/BLAS call overhead (the dominant cost of scalar collection)
+#: without inflating the on-policy buffer shape.
+_ENVS_PER_CPU = 8
+_MAX_DEFAULT_ENVS = 32
+
+#: Default teacher-labelling / dataset-collection batch width.  Unlike
+#: ``num_envs`` this is a pure array width with no RL semantics, so it can
+#: be generous; it is still capped per CPU so narrow containers do not
+#: build huge intermediate arrays they cannot process any faster.
+_BATCH_PER_CPU = 64
+_MAX_DEFAULT_BATCH = 256
+
+
+def available_cpu_count() -> int:
+    """The CPUs this process may use (``os.cpu_count()``, floored at 1)."""
+
+    return max(1, os.cpu_count() or 1)
+
+
+def default_worker_count(jobs: Optional[int] = None) -> int:
+    """Default size of a *process pool*: one worker per CPU, never more.
+
+    ``jobs`` caps the answer at the number of jobs to run (a pool larger
+    than its job list only burns fork time).  This is the shared policy of
+    :class:`repro.verification.sweep.VerificationSweep` and the scenario
+    matrix runner; on a 1-CPU container it always returns 1, which those
+    callers treat as "run inline, no pool".
+    """
+
+    workers = available_cpu_count()
+    if jobs is not None:
+        workers = min(workers, max(0, int(jobs)))
+    return max(1, workers)
+
+
+def default_num_envs() -> int:
+    """Default lockstep environment count for the vectorized trainer."""
+
+    return min(_MAX_DEFAULT_ENVS, _ENVS_PER_CPU * available_cpu_count())
+
+
+def default_train_batch_size() -> int:
+    """Default batch width for dataset collection / teacher labelling."""
+
+    return min(_MAX_DEFAULT_BATCH, _BATCH_PER_CPU * available_cpu_count())

@@ -27,7 +27,6 @@ The CLI front end is ``python -m repro verify-sweep``.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,6 +36,7 @@ import numpy as np
 
 from repro.nn.network import MLP
 from repro.systems import make_system
+from repro.utils.parallel import default_worker_count
 from repro.verification.verifier import VerificationReport, verify_controller
 
 
@@ -233,9 +233,12 @@ def _pool_worker(payload) -> SweepJobResult:
 class VerificationSweep:
     """Run many verification jobs, optionally fanned out across processes.
 
-    ``processes=None`` picks ``min(len(jobs), cpu_count)``; ``processes<=1``
-    runs inline (no pool), which is also the deterministic mode the
-    equivalence tests use.  Results always come back in job order.
+    ``processes=None`` derives the pool size from the machine via
+    :func:`repro.utils.parallel.default_worker_count` -- one worker per
+    available CPU, capped at the job count, so a narrow (1-CPU) container
+    never forks a pool it cannot feed; ``processes<=1`` runs inline (no
+    pool), which is also the deterministic mode the equivalence tests use.
+    Results always come back in job order.
     """
 
     def __init__(
@@ -246,7 +249,7 @@ class VerificationSweep:
     ):
         self.jobs = list(jobs)
         if processes is None:
-            processes = min(len(self.jobs), os.cpu_count() or 1)
+            processes = default_worker_count(jobs=len(self.jobs))
         self.processes = max(1, int(processes))
         if engine not in ("batched", "scalar"):
             raise ValueError(f"unknown engine {engine!r}; choose 'batched' or 'scalar'")

@@ -1,0 +1,117 @@
+"""Regression tests: worker/env defaults must track ``os.cpu_count()``.
+
+The original sin this guards against: a 1-CPU container where a process
+pool defaulted to one worker per *job* would fork dozens of workers that
+fight over a single core.  Every fan-out component derives its default from
+:mod:`repro.utils.parallel`, and these tests pin that the derivation (a)
+follows the CPU count and (b) caps the verification sweep's pool on a
+narrow machine.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import CocktailConfig
+from repro.utils.parallel import (
+    available_cpu_count,
+    default_num_envs,
+    default_train_batch_size,
+    default_worker_count,
+)
+from repro.verification.sweep import SweepJob, VerificationSweep
+
+
+def _fake_cpu_count(monkeypatch, count):
+    monkeypatch.setattr(os, "cpu_count", lambda: count)
+
+
+def _dummy_jobs(count):
+    architecture = {"input_dim": 2, "output_dim": 1, "hidden_sizes": [4]}
+    return [
+        SweepJob(name=f"job{i}", system="vanderpol", architecture=architecture, weights={})
+        for i in range(count)
+    ]
+
+
+class TestCpuDerivation:
+    def test_available_cpu_count_floors_at_one(self, monkeypatch):
+        _fake_cpu_count(monkeypatch, None)
+        assert available_cpu_count() == 1
+        _fake_cpu_count(monkeypatch, 12)
+        assert available_cpu_count() == 12
+
+    def test_worker_count_never_exceeds_cpus(self, monkeypatch):
+        _fake_cpu_count(monkeypatch, 1)
+        assert default_worker_count() == 1
+        assert default_worker_count(jobs=64) == 1
+        _fake_cpu_count(monkeypatch, 4)
+        assert default_worker_count(jobs=64) == 4
+        assert default_worker_count(jobs=2) == 2
+        assert default_worker_count(jobs=0) == 1
+
+    def test_env_and_batch_widths_scale_with_cpus_and_cap(self, monkeypatch):
+        _fake_cpu_count(monkeypatch, 1)
+        one_cpu_envs = default_num_envs()
+        one_cpu_batch = default_train_batch_size()
+        assert one_cpu_envs >= 1 and one_cpu_batch >= 1
+        _fake_cpu_count(monkeypatch, 256)
+        assert default_num_envs() >= one_cpu_envs
+        assert default_num_envs() <= 32  # capped: batch width, not a fork bomb
+        assert default_train_batch_size() <= 256
+
+
+class TestSweepPoolRegression:
+    def test_one_cpu_container_gets_an_inline_sweep(self, monkeypatch):
+        """Many jobs on one CPU must not fork a many-worker pool."""
+
+        _fake_cpu_count(monkeypatch, 1)
+        sweep = VerificationSweep(_dummy_jobs(16), processes=None)
+        assert sweep.processes == 1
+
+    def test_wide_machine_caps_at_job_count(self, monkeypatch):
+        _fake_cpu_count(monkeypatch, 8)
+        assert VerificationSweep(_dummy_jobs(3), processes=None).processes == 3
+        assert VerificationSweep(_dummy_jobs(16), processes=None).processes == 8
+
+    def test_explicit_processes_still_win(self, monkeypatch):
+        _fake_cpu_count(monkeypatch, 1)
+        assert VerificationSweep(_dummy_jobs(4), processes=2).processes == 2
+
+
+class TestTrainerWidthRegression:
+    def test_budget_hint_defaults_follow_the_cpu_count(self, monkeypatch):
+        _fake_cpu_count(monkeypatch, 1)
+        narrow = CocktailConfig.from_budget_hints({}, seed=0)
+        assert narrow.mixing.num_envs == default_num_envs()
+        assert narrow.distillation.train_batch_size == default_train_batch_size()
+        _fake_cpu_count(monkeypatch, 4)
+        wide = CocktailConfig.from_budget_hints({}, seed=0)
+        assert wide.mixing.num_envs >= narrow.mixing.num_envs
+        assert wide.mixing.num_envs <= 32
+
+    def test_num_envs_is_a_batch_width_not_a_process_count(self):
+        """The vectorized trainer must not spawn OS threads/processes: the
+        lockstep width lives entirely inside NumPy calls."""
+
+        import threading
+
+        from repro.core.mixing import MixingTrainer
+        from repro.core.config import MixingConfig
+        from repro.experts import make_default_experts
+        from repro.systems import make_system
+
+        system = make_system("vanderpol")
+        experts = make_default_experts(system)
+        before = threading.active_count()
+        trainer = MixingTrainer(
+            system,
+            experts,
+            config=MixingConfig(epochs=1, steps_per_epoch=64, num_envs=8, seed=0),
+            rng=0,
+        )
+        trainer.train()
+        assert threading.active_count() == before
