@@ -1,24 +1,30 @@
 # Developer entry points.  `test` wraps the tier-1 verification command used
 # by CI and the roadmap; `test-fast` is the inner-loop subset (unit tests
-# only: no scenario_smoke cells, no benchmarks); `scenario-smoke` runs the
-# fast train->evaluate->verify cell for every registered scenario (also
-# collected by `test` via the scenario_smoke pytest marker); `bench`
-# regenerates the paper's tables/figures at the quick scale; `verify-bench`
-# re-times the scalar-vs-batched verification engines and refreshes the
-# committed CSV; `train-bench` does the same for the scalar-vs-vectorized
-# training stages; `lint` is a fast syntax gate (no third-party linter is
-# vendored into the image).
+# only: no scenario_smoke cells, no benchmarks -- run `test-cov` alongside it
+# when touching the experiments run store); `test-cov` enforces a >=80%
+# line-coverage floor on src/repro/experiments via tools/check_coverage.py
+# (pytest-cov when installed, a stdlib settrace collector otherwise);
+# `scenario-smoke` runs the fast train->evaluate->verify cell for every
+# registered scenario (also collected by `test` via the scenario_smoke
+# pytest marker); `bench` regenerates the paper's tables/figures at the
+# quick scale; `verify-bench` re-times the scalar-vs-batched verification
+# engines and refreshes the committed CSV; `train-bench` does the same for
+# the scalar-vs-vectorized training stages; `lint` is a fast syntax gate
+# (no third-party linter is vendored into the image).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast scenario-smoke bench verify-bench train-bench lint
+.PHONY: test test-fast test-cov scenario-smoke bench verify-bench train-bench lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not scenario_smoke" tests
+
+test-cov:
+	$(PYTHON) tools/check_coverage.py --floor 80
 
 scenario-smoke:
 	REPRO_SCALE=quick $(PYTHON) -m pytest -q -m scenario_smoke tests

@@ -37,6 +37,7 @@ from repro.core import (
     MixingTrainer,
     RobustDistiller,
 )
+from repro.experiments import RunStore, config_digest
 from repro.experts import Controller, make_default_experts
 from repro.metrics import evaluate_controller, evaluate_controllers
 from repro.scenarios import (
@@ -77,6 +78,9 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "run_scenario_matrix",
+    # experiments
+    "RunStore",
+    "config_digest",
     # experts
     "Controller",
     "make_default_experts",

@@ -27,9 +27,18 @@ Five sub-commands cover the daily workflow of the reproduction:
     evaluation and verification, emitting one cross-scenario CSV
     (``scenarios run``).
 
+``runs``
+    Inspect a digest-keyed experiment run store (``runs list``, ``runs
+    show DIGEST``) or collect its garbage (``runs gc``).
+
 Every ``--system`` argument resolves through the scenario registry
 (:mod:`repro.scenarios`), so aliases and parameter-overridable variants
-such as ``vanderpol?mu=1.5`` are accepted everywhere.
+such as ``vanderpol?mu=1.5`` are accepted everywhere.  ``train``,
+``verify-sweep`` and ``scenarios run`` accept ``--run-dir`` to cache every
+pipeline stage in a :class:`repro.experiments.RunStore` keyed by the
+digest of its resolved config: rerunning an unchanged command serves the
+results from the store, and an interrupted ``scenarios run`` resumed with
+``--resume`` executes only the missing cells (see ``docs/experiments.md``).
 """
 
 from __future__ import annotations
@@ -138,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo rollouts advanced in lockstep (0 = whole sample as one batch)",
     )
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--run-dir",
+        type=Path,
+        default=None,
+        help="experiment run store; an identical earlier train is restored from it "
+        "instead of retrained, a fresh one is recorded under its config digest",
+    )
 
     evaluate = subparsers.add_parser("evaluate", help="evaluate a saved student controller")
     _add_system_argument(evaluate)
@@ -217,6 +233,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="'batched' runs the vectorized engine; 'scalar' the historical one-box-at-a-time flow",
     )
     sweep.add_argument("--csv", type=Path, default=None, help="write one CSV row per job to this path")
+    sweep.add_argument(
+        "--run-dir",
+        type=Path,
+        default=None,
+        help="experiment run store; jobs whose (weight digest x budgets x engine) key "
+        "is already present are replayed from it instead of re-verified",
+    )
 
     scenarios = subparsers.add_parser(
         "scenarios", help="inspect the scenario catalog or run the cross-scenario matrix"
@@ -245,6 +268,41 @@ def build_parser() -> argparse.ArgumentParser:
                      help="verification worker processes (0 = one per scenario, capped at the CPU count)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--csv", type=Path, default=None, help="write one CSV row per matrix cell")
+    run.add_argument(
+        "--run-dir",
+        type=Path,
+        default=None,
+        help="experiment run store: every cell (train/evaluate/verify) is keyed by its "
+        "config digest and flushed as it completes; cells already present are loaded "
+        "instead of recomputed, so reruns are incremental",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="explicitly resume an interrupted sweep from --run-dir (reuse is already "
+        "the default with --run-dir; this flag just rejects a missing --run-dir)",
+    )
+    run.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every cell and overwrite the store entries (needs --run-dir)",
+    )
+
+    runs = subparsers.add_parser("runs", help="inspect or clean an experiment run store")
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_commands.add_parser("list", help="list every complete store entry")
+    runs_list.add_argument("--run-dir", type=Path, required=True)
+    runs_list.add_argument("--stage", default=None, help="restrict to one stage (train/evaluate/verify)")
+    runs_show = runs_commands.add_parser("show", help="print one entry's config and result")
+    runs_show.add_argument("--run-dir", type=Path, required=True)
+    runs_show.add_argument("digest", help="entry digest (any unambiguous prefix)")
+    runs_gc = runs_commands.add_parser(
+        "gc", help="remove incomplete entries (and, with --stage, whole stages)"
+    )
+    runs_gc.add_argument("--run-dir", type=Path, required=True)
+    runs_gc.add_argument("--stage", action="append", default=None,
+                         help="also remove every complete entry of this stage (repeatable)")
+    runs_gc.add_argument("--dry-run", action="store_true", help="report what would be removed")
 
     return parser
 
@@ -258,13 +316,14 @@ def _resolve_budget(explicit, hints, key, fallback):
 
 
 def _command_train(args: argparse.Namespace) -> int:
-    from repro.scenarios import get_scenario
+    from repro.scenarios import resolve_scenario
     from repro.utils.parallel import default_num_envs, default_train_batch_size
 
     set_global_seed(args.seed)
     system = make_system(args.system)
     experts = make_default_experts(system)
-    hints = get_scenario(args.system).train_budget
+    spec, scenario_overrides = resolve_scenario(args.system)
+    hints = spec.train_budget
     config = CocktailConfig(
         mixing=MixingConfig(
             epochs=_resolve_budget(args.mixing_epochs, hints, "mixing_epochs", 10),
@@ -289,6 +348,40 @@ def _command_train(args: argparse.Namespace) -> int:
         ),
         seed=args.seed,
     )
+
+    store = train_key = None
+    if args.run_dir is not None:
+        from repro.experiments import RunStore
+
+        store = RunStore(args.run_dir)
+        params = dict(spec.default_params)
+        params.update(scenario_overrides)
+        # direct_baseline distinguishes this entry (kappa_star + kappa_d +
+        # record.json) from the matrix runner's student-only train entries.
+        train_key = store.key(
+            "train",
+            {
+                "system": spec.name,
+                "params": params,
+                "cocktail": config,
+                "seed": args.seed,
+                "direct_baseline": True,
+            },
+        )
+        if store.contains(train_key):
+            output = Path(args.output)
+            output.mkdir(parents=True, exist_ok=True)
+            import shutil
+
+            for artefact in sorted(store.entry_dir(train_key).iterdir()):
+                if artefact.is_file() and artefact.name not in ("entry.json", "result.json"):
+                    shutil.copyfile(artefact, output / artefact.name)
+            print(
+                f"restored saved controllers from the run store "
+                f"(digest {train_key.digest[:16]}) to {output}"
+            )
+            return 0
+
     result = CocktailPipeline(system, experts, config).run()
     metrics = evaluate_controllers(
         system,
@@ -298,8 +391,23 @@ def _command_train(args: argparse.Namespace) -> int:
     )
     print(metrics_to_table(f"Cocktail on {args.system}", metrics))
     record = {name: metric.as_dict() for name, metric in metrics.items()}
-    save_cocktail_result(result, args.output, record={"system": args.system, "metrics": record, "seed": args.seed})
+    save_cocktail_result(
+        result,
+        args.output,
+        record={"system": args.system, "metrics": record, "seed": args.seed},
+        context={"system": spec.name, "seed": args.seed},
+        digest=train_key.digest if train_key is not None else None,
+    )
     print(f"saved controllers and record to {args.output}")
+    if store is not None:
+        output = Path(args.output)
+        files = {
+            path.name: path
+            for path in sorted(output.iterdir())
+            if path.is_file() and path.suffix in (".npz", ".json")
+        }
+        store.save(train_key, {"record": "record.json", "system": spec.name}, files=files)
+        print(f"recorded the run in {store.root} (digest {train_key.digest[:16]})")
     return 0
 
 
@@ -411,9 +519,16 @@ def _command_verify_sweep(args: argparse.Namespace) -> int:
     from repro.verification.sweep import VerificationSweep
 
     jobs = _expand_sweep_specs(args)
-    sweep = VerificationSweep(jobs, processes=args.jobs or None, engine=args.engine)
+    store = None
+    if args.run_dir is not None:
+        from repro.experiments import RunStore
+
+        store = RunStore(args.run_dir)
+    sweep = VerificationSweep(jobs, processes=args.jobs or None, engine=args.engine, store=store)
     report = sweep.run()
     print(report.table())
+    if store is not None:
+        print(f"run store {store.root}: {store.hits} job(s) replayed, {store.misses} executed")
     if args.csv is not None:
         path = report.to_csv(args.csv)
         print(f"wrote per-job records to {path}")
@@ -436,6 +551,8 @@ def _command_scenarios(args: argparse.Namespace) -> int:
             )
         return 0
 
+    if (args.resume or args.force) and args.run_dir is None:
+        raise SystemExit("--resume/--force need --run-dir (there is no store to resume from)")
     report = run_scenario_matrix(
         scenarios=args.scenario,
         samples=args.samples,
@@ -446,11 +563,65 @@ def _command_scenarios(args: argparse.Namespace) -> int:
         seed=args.seed,
         budget_scale=args.budget_scale,
         progress=print,
+        run_dir=args.run_dir,
+        force=args.force,
     )
     print(report.table())
+    if args.run_dir is not None:
+        print(
+            f"run store {args.run_dir}: {report.cells_cached} cell(s) served from the store, "
+            f"{report.cells_computed} computed"
+        )
     if args.csv is not None:
         path = report.to_csv(args.csv)
         print(f"wrote per-cell records to {path}")
+    return 0
+
+
+def _command_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import RunStore
+
+    store = RunStore(args.run_dir)
+    if args.runs_command != "gc" and not store.root.is_dir():
+        raise SystemExit(f"run directory {store.root} does not exist")
+
+    if args.runs_command == "list":
+        entries = store.entries(stage=args.stage)
+        header = f"{'stage':10s} {'digest':18s} {'files':>5s} {'bytes':>10s} created"
+        print(header)
+        print("-" * len(header))
+        import datetime
+
+        for entry in entries:
+            created = datetime.datetime.fromtimestamp(entry.get("created_unix", 0.0))
+            print(
+                f"{entry['stage']:10s} {entry['digest'][:16]:18s} "
+                f"{len(entry.get('files', [])):5d} {entry.get('bytes', 0):10d} "
+                f"{created:%Y-%m-%d %H:%M:%S}"
+            )
+        print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'} in {store.root}")
+        return 0
+
+    if args.runs_command == "show":
+        matches = store.find(args.digest)
+        if not matches:
+            raise SystemExit(f"no run entry matching digest {args.digest!r} in {store.root}")
+        if len(matches) > 1:
+            digests = ", ".join(entry["digest"][:16] for entry in matches)
+            raise SystemExit(f"digest prefix {args.digest!r} is ambiguous: {digests}")
+        entry = matches[0]
+        path = Path(entry.pop("path"))
+        print(json.dumps(entry, indent=2, sort_keys=True))
+        with (path / "result.json").open() as handle:
+            print(json.dumps({"result": json.load(handle)}, indent=2, sort_keys=True))
+        return 0
+
+    incomplete, removed = store.gc(stages=args.stage, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb} {len(incomplete)} incomplete and {len(removed)} complete entr"
+          f"{'y' if len(incomplete) + len(removed) == 1 else 'ies'} from {store.root}")
     return 0
 
 
@@ -468,6 +639,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_verify_sweep(args)
     if args.command == "scenarios":
         return _command_scenarios(args)
+    if args.command == "runs":
+        return _command_runs(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
 
 

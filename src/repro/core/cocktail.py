@@ -48,6 +48,10 @@ class CocktailResult:
     dataset: DistillationDataset
     #: Training loggers keyed by stage name.
     loggers: Dict[str, TrainingLogger] = field(default_factory=dict)
+    #: The resolved configuration the run executed with.  Persistence uses
+    #: it to stamp records with the full config and its canonical digest
+    #: (see :func:`repro.utils.persistence.save_cocktail_result`).
+    config: Optional[CocktailConfig] = None
 
     def controllers(self) -> Dict[str, Controller]:
         """All named controllers of Table I produced by this run."""
@@ -134,4 +138,5 @@ class CocktailPipeline:
             experts=self.experts,
             dataset=dataset,
             loggers=loggers,
+            config=self.config,
         )

@@ -14,6 +14,7 @@ from repro.nn.lipschitz import (
     empirical_lipschitz,
     layer_lipschitz,
     network_lipschitz,
+    network_weights_digest,
     spectral_norm,
 )
 from repro.nn.serialization import load_state_dict, save_state_dict, state_dict_from_module
@@ -32,6 +33,7 @@ __all__ = [
     "SGD",
     "Adam",
     "network_lipschitz",
+    "network_weights_digest",
     "layer_lipschitz",
     "empirical_lipschitz",
     "spectral_norm",

@@ -23,7 +23,6 @@ because the digest changes.
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from typing import Optional
 
@@ -32,25 +31,44 @@ import numpy as np
 from repro.nn.layers import Activation, Linear
 from repro.nn.network import MLP
 
-_LIPSCHITZ_CACHE: "OrderedDict[bytes, float]" = OrderedDict()
+_LIPSCHITZ_CACHE: "OrderedDict[str, float]" = OrderedDict()
 _LIPSCHITZ_CACHE_MAX_ENTRIES = 256
 
 
-def _weights_digest(network: MLP) -> bytes:
-    """Digest of all layer parameters (weights change => digest changes)."""
+def _weights_digest(network: MLP) -> str:
+    """Digest of all parameters (weights change => digest changes).
 
-    hasher = hashlib.blake2b(digest_size=16)
-    for layer in network.layers:
-        if isinstance(layer, Linear):
-            # Shapes disambiguate networks whose concatenated parameter
-            # bytes coincide but are partitioned into different layers.
-            hasher.update(repr(layer.weight.data.shape).encode("utf-8"))
-            hasher.update(np.ascontiguousarray(layer.weight.data).tobytes())
-            hasher.update(repr(layer.bias.data.shape).encode("utf-8"))
-            hasher.update(np.ascontiguousarray(layer.bias.data).tobytes())
-        elif isinstance(layer, Activation):
-            hasher.update(b"|" + layer.name.encode("utf-8") + b"|")
-    return hasher.digest()
+    Delegates to :func:`repro.experiments.digest.weights_digest` over the
+    state dictionary (dtype, shape and raw bytes per parameter), with the
+    layer structure -- the architecture description when available, the
+    layer/activation names otherwise -- folded in so networks whose
+    concatenated parameter bytes coincide but are partitioned or activated
+    differently never collide.  One implementation serves both this memo
+    and the experiment run store, so their invalidation contracts can never
+    drift apart.
+    """
+
+    from repro.experiments.digest import weights_digest
+
+    if hasattr(network, "architecture"):
+        structure: object = network.architecture()
+    else:
+        structure = [
+            getattr(layer, "name", type(layer).__name__) for layer in network.layers
+        ]
+    return weights_digest(network.state_dict(), extra=structure)
+
+
+def network_weights_digest(network: MLP) -> str:
+    """Public form of the memo key: a content address for the weights.
+
+    The experiment run store keys evaluation and verification results by
+    this digest (times the analysis budgets), reusing the exact
+    invalidation contract of the :func:`network_lipschitz` memo: any
+    parameter update changes the digest.
+    """
+
+    return _weights_digest(network)
 
 
 def spectral_norm(matrix: np.ndarray, iterations: int = 64, seed: Optional[int] = 0) -> float:

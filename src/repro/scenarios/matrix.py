@@ -13,6 +13,16 @@ Per-scenario budgets come from each spec's ``train_budget`` /
 ``verify_budget`` hints; ``budget_scale`` shrinks the integer training
 knobs uniformly (the ``make scenario-smoke`` target runs the whole catalog
 at a tiny scale this way).
+
+With a :class:`~repro.experiments.store.RunStore` (``store=``/``run_dir=``)
+the matrix becomes an *incremental* workload: every stage -- the kappa*
+training, each evaluation cell, each verification job -- is keyed by the
+digest of its resolved config and flushed to the store as soon as it
+completes, so an interrupted sweep rerun with ``resume=True`` executes
+only the missing cells and a fully warmed store answers the whole matrix
+from disk.  Store-backed rows are deterministic (wall-clock timings stay
+in the store's entry metadata, not in the rows), which is what makes the
+resumed CSV byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -27,6 +37,9 @@ from repro.core.config import CocktailConfig
 from repro.metrics.robustness import evaluate_robustness
 from repro.scenarios.registry import list_scenarios, resolve_scenario
 from repro.utils.seeding import set_global_seed
+
+#: Non-deterministic keys stripped from store-backed verification rows.
+_TIMING_KEYS = ("total_seconds", "reach_seconds", "invariant_seconds")
 
 #: The training-budget keys that scale with ``budget_scale``.
 _SCALABLE_HINTS = ("mixing_epochs", "mixing_steps", "distill_epochs", "dataset_size", "eval_samples")
@@ -50,6 +63,9 @@ class ScenarioMatrixReport:
     rows: List[Dict] = field(default_factory=list)
     scenarios: List[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Stage executions vs run-store replays (both stay 0 without a store).
+    cells_computed: int = 0
+    cells_cached: int = 0
 
     @property
     def num_cells(self) -> int:
@@ -105,6 +121,23 @@ class ScenarioMatrixReport:
         return "\n".join(lines)
 
 
+def _controller_identity(name: str, controller) -> Dict[str, object]:
+    """What makes an evaluation cell's controller unique for digesting.
+
+    Trained students are identified by their weight digest (so a retrain
+    with different weights can never replay a stale cell); analytic experts
+    are a pure function of the plant and their position, so their name
+    suffices.
+    """
+
+    network = getattr(controller, "network", None)
+    if network is not None:
+        from repro.nn.lipschitz import network_weights_digest
+
+        return {"kind": "network", "weights": network_weights_digest(network)}
+    return {"kind": "analytic", "name": name}
+
+
 def run_scenario_matrix(
     scenarios: Optional[Sequence[str]] = None,
     perturbations: Sequence[str] = ("none", "attack", "noise"),
@@ -119,6 +152,11 @@ def run_scenario_matrix(
     verify_overrides: Optional[Mapping[str, object]] = None,
     engine: str = "batched",
     progress: Optional[Callable[[str], None]] = None,
+    store=None,
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: bool = True,
+    force: bool = False,
+    on_cell: Optional[Callable[[Dict], None]] = None,
 ) -> ScenarioMatrixReport:
     """Run the ``(scenario x controller x perturbation)`` matrix.
 
@@ -135,18 +173,37 @@ def run_scenario_matrix(
     Scenario names may be variants (``"vanderpol?mu=1.5"``); the override
     string travels into the verification worker, which rebuilds the exact
     plant through the registry.
+
+    ``store`` (or ``run_dir``, which opens a
+    :class:`~repro.experiments.store.RunStore` there) makes the run
+    resumable: every stage is keyed by the digest of its resolved config
+    and flushed as soon as it completes, cells already present are loaded
+    instead of recomputed (``resume=True``, the default), and ``force=True``
+    recomputes and overwrites everything.  Store-backed rows carry no
+    wall-clock columns -- timings live in the store entries -- so the same
+    matrix always serialises to byte-identical CSV.  ``on_cell`` is invoked
+    with each row right after it is appended (and, store-backed, flushed);
+    an exception raised there aborts the run but loses no completed cell.
     """
 
     names = list(scenarios) if scenarios is not None else list_scenarios()
     if not names:
         raise ValueError("no scenarios to run; the catalog (or the requested list) is empty")
+    if store is None and run_dir is not None:
+        from repro.experiments.store import RunStore
+
+        store = RunStore(run_dir)
+    reuse = store is not None and resume and not force
     say = progress if progress is not None else (lambda message: None)
+    emit = on_cell if on_cell is not None else (lambda row: None)
 
     start = time.perf_counter()
     report = ScenarioMatrixReport(scenarios=list(names))
     sweep_jobs = []
     for name in names:
         spec, overrides = resolve_scenario(name)
+        params = dict(spec.default_params)
+        params.update(overrides)
         system = spec.make_system(**overrides)
         controllers = {
             f"kappa{index}": expert for index, expert in enumerate(spec.make_experts(system), start=1)
@@ -155,37 +212,102 @@ def run_scenario_matrix(
         if train:
             hints = scale_budget_hints(spec.train_budget, budget_scale)
             hints.update(train_overrides or {})
-            say(f"[{name}] training kappa_star ({hints.get('mixing_epochs', '?')} mixing epochs)")
-            set_global_seed(seed)
             config = CocktailConfig.from_budget_hints(hints, seed=seed)
-            result = CocktailPipeline(system, list(controllers.values()), config).run(
-                include_direct_baseline=False
-            )
-            controllers["kappa_star"] = result.student
+            train_key = None
+            if store is not None:
+                # direct_baseline is part of the identity: the CLI's train
+                # command produces kappa_d + record.json under the same
+                # budgets, and must never restore a matrix entry without them.
+                train_key = store.key(
+                    "train",
+                    {
+                        "system": spec.name,
+                        "params": params,
+                        "cocktail": config,
+                        "seed": seed,
+                        "direct_baseline": False,
+                    },
+                )
+            if train_key is not None and reuse and store.contains(train_key):
+                from repro.experts.base import NeuralController
+
+                network = store.load_network(train_key, "kappa_star")
+                controllers["kappa_star"] = NeuralController(network, name="kappa_star")
+                store.hits += 1
+                report.cells_cached += 1
+                say(f"[{name}] kappa_star restored from the run store")
+            else:
+                say(f"[{name}] training kappa_star ({hints.get('mixing_epochs', '?')} mixing epochs)")
+                set_global_seed(seed)
+                result = CocktailPipeline(system, list(controllers.values()), config).run(
+                    include_direct_baseline=False
+                )
+                controllers["kappa_star"] = result.student
+                if train_key is not None:
+                    store.save(
+                        train_key,
+                        {
+                            "experts": [expert.name for expert in result.experts],
+                            "dataset_size": len(result.dataset),
+                        },
+                        networks={"kappa_star": result.student.network},
+                    )
+                    store.misses += 1
+                    report.cells_computed += 1
 
         for controller_name, controller in controllers.items():
             for perturbation in perturbations:
                 cell_start = time.perf_counter()
-                outcome = evaluate_robustness(
-                    system,
-                    controller,
-                    perturbation=perturbation,
-                    fraction=fraction,
-                    samples=samples,
-                    rng=seed,
-                )
-                report.rows.append(
-                    {
-                        "scenario": name,
-                        "controller": controller_name,
-                        "cell": "evaluate",
-                        "perturbation": perturbation,
+
+                def compute_cell(controller=controller, perturbation=perturbation):
+                    outcome = evaluate_robustness(
+                        system,
+                        controller,
+                        perturbation=perturbation,
+                        fraction=fraction,
+                        samples=samples,
+                        rng=seed,
+                    )
+                    return {
                         "safe_rate": outcome.safe_rate,
                         "mean_energy": outcome.mean_energy,
                         "samples": outcome.samples,
-                        "seconds": time.perf_counter() - cell_start,
                     }
-                )
+
+                if store is not None:
+                    cell_key = store.key(
+                        "evaluate",
+                        {
+                            "system": spec.name,
+                            "params": params,
+                            "controller": _controller_identity(controller_name, controller),
+                            "perturbation": perturbation,
+                            "samples": samples,
+                            "fraction": fraction,
+                            "seed": seed,
+                        },
+                    )
+                    hits_before = store.hits
+                    payload = store.get_or_run(cell_key, compute_cell, force=not reuse)
+                    if store.hits > hits_before:
+                        report.cells_cached += 1
+                    else:
+                        report.cells_computed += 1
+                else:
+                    payload = compute_cell()
+                row = {
+                    "scenario": name,
+                    "controller": controller_name,
+                    "cell": "evaluate",
+                    "perturbation": perturbation,
+                    "safe_rate": payload["safe_rate"],
+                    "mean_energy": payload["mean_energy"],
+                    "samples": payload["samples"],
+                }
+                if store is None:
+                    row["seconds"] = time.perf_counter() - cell_start
+                report.rows.append(row)
+                emit(row)
             say(f"[{name}] evaluated {controller_name} under {len(list(perturbations))} regime(s)")
 
         if train and verify:
@@ -206,21 +328,37 @@ def run_scenario_matrix(
         from repro.verification.sweep import VerificationSweep
 
         say(f"verifying {len(sweep_jobs)} student(s) across {max(1, jobs)} process(es)")
-        sweep_report = VerificationSweep(sweep_jobs, processes=jobs or None, engine=engine).run()
+        sweep = VerificationSweep(
+            sweep_jobs, processes=jobs or None, engine=engine, store=store, force=not reuse
+        )
+        sweep_report = sweep.run()
         for name, result in zip(names, sweep_report.results):
             row = {
                 "scenario": name,
                 "controller": "kappa_star",
                 "cell": "verify",
                 "status": result.status,
-                "seconds": result.elapsed_seconds,
             }
+            if store is None:
+                row["seconds"] = result.elapsed_seconds
             if result.error:
                 row["error"] = result.error
             summary = dict(result.summary)
             summary.pop("controller", None)  # the row's controller column is the matrix name
+            if store is not None:
+                for key in _TIMING_KEYS:
+                    summary.pop(key, None)
+                # Fresh summaries arrive in insertion order, replayed ones in
+                # JSON-sorted order; sort both so the CSV header -- and with
+                # it the whole file -- is byte-stable across resumed runs.
+                summary = {key: summary[key] for key in sorted(summary)}
             row.update(summary)
             report.rows.append(row)
+            if result.cached:
+                report.cells_cached += 1
+            elif store is not None:
+                report.cells_computed += 1
+            emit(row)
 
     report.elapsed_seconds = time.perf_counter() - start
     return report

@@ -7,15 +7,25 @@ Two kinds of artefacts are saved:
   deployment target can reload κ* without the training stack;
 * **experiment records** -- plain JSON dictionaries of metrics (safe rates,
   energies, Lipschitz constants, verification times) with enough metadata
-  (system, scale, seed, timestamp is the caller's business) to regenerate a
-  table row later.
+  to regenerate a table row later.  When the producing
+  :class:`~repro.core.cocktail.CocktailResult` carries its config, the
+  record also gains the full resolved configuration and its canonical
+  :func:`~repro.experiments.digest.config_digest` -- the identity that
+  links the record to the run-store entry that produced it.
+
+NumPy values inside records are serialised shape-preservingly (scalars stay
+scalars, ``(1,)``-arrays stay one-element lists), so a record's digest
+survives a JSON round-trip -- the property the digesting tests pin.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Dict, Optional, Union
+
+import numpy as np
 
 from repro.experts.base import NeuralController
 from repro.nn.serialization import load_state_dict, save_state_dict
@@ -38,13 +48,31 @@ def load_experiment_record(path: PathLike) -> Dict:
         return json.load(handle)
 
 
-def save_cocktail_result(result, directory: PathLike, record: Optional[Dict] = None) -> Path:
+def save_cocktail_result(
+    result,
+    directory: PathLike,
+    record: Optional[Dict] = None,
+    context: Optional[Dict] = None,
+    timestamp: bool = True,
+    digest: Optional[str] = None,
+) -> Path:
     """Persist the distilled controllers of a :class:`CocktailResult`.
 
     Writes ``kappa_star.npz`` (always), ``kappa_d.npz`` (when the direct
-    baseline was trained) and ``record.json`` with the experiment record plus
-    basic bookkeeping (expert names, dataset size).
+    baseline was trained) and ``record.json`` with the experiment record
+    plus basic bookkeeping (expert names, dataset size).  When the result
+    carries the :class:`~repro.core.config.CocktailConfig` it was trained
+    with, the record additionally stores the full resolved config and the
+    canonical digest of ``{config, context}`` -- ``context`` is the
+    caller-side identity (system name, seed, ...) that the configuration
+    alone does not capture.  ``timestamp=False`` omits ``created_unix``
+    (the only non-deterministic field) for byte-stable records.  An
+    explicit ``digest`` wins over the computed one; the CLI passes its
+    run-store key digest here so ``repro runs show <record digest>``
+    resolves to the entry that produced the record.
     """
+
+    from repro.experiments.digest import canonicalize, config_digest
 
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -58,6 +86,19 @@ def save_cocktail_result(result, directory: PathLike, record: Optional[Dict] = N
         "experts": [expert.name for expert in result.experts],
         "dataset_size": len(result.dataset),
     }
+    config = getattr(result, "config", None)
+    if config is not None:
+        payload["config"] = canonicalize(config)
+    if context:
+        payload["context"] = canonicalize(context)
+    if digest is not None:
+        payload["digest"] = digest
+    elif config is not None or context:
+        payload["digest"] = config_digest(
+            {"config": payload.get("config"), "context": payload.get("context")}
+        )
+    if timestamp:
+        payload["created_unix"] = time.time()
     if record:
         payload["record"] = record
     save_experiment_record(payload, directory / "record.json")
@@ -78,9 +119,17 @@ def load_student_controller(directory: PathLike, name: str = "kappa_star") -> Ne
 
 
 def _jsonify(value):
-    """Fallback serialiser for NumPy scalars/arrays inside records."""
+    """Fallback serialiser for NumPy scalars/arrays inside records.
 
-    if hasattr(value, "item") and getattr(value, "size", None) == 1:
+    Shape-preserving: only genuine scalars (0-d) collapse to Python
+    numbers; any array -- including one of size 1 -- stays a (nested) list,
+    so records round-trip through JSON without changing structure (and
+    therefore without changing their digest).
+    """
+
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
         return value.item()
     if hasattr(value, "tolist"):
         return value.tolist()

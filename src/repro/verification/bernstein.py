@@ -247,7 +247,7 @@ class CoefficientCache:
         if isinstance(self._function, MLP):
             from repro.nn.lipschitz import _weights_digest
 
-            return _weights_digest(self._function)
+            return _weights_digest(self._function).encode("utf-8")
         return repr(id(self._function)).encode("utf-8")
 
     def _key(self, tag: bytes, low: np.ndarray, high: np.ndarray, degrees: np.ndarray) -> bytes:

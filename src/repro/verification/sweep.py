@@ -85,6 +85,40 @@ class SweepJob:
         network.load_state_dict(self.weights)
         return network
 
+    def cache_config(self, engine: str) -> Dict:
+        """The job's resolved identity for run-store caching.
+
+        Keyed on the controller weight digest (same invalidation contract
+        as the :func:`repro.nn.lipschitz.network_lipschitz` memo: any
+        weight update changes it) crossed with every analysis budget and
+        the engine; the system resolves through the scenario registry so
+        variant spellings (``vanderpol?mu=1.50`` vs ``?mu=1.5``) share one
+        cache entry.
+        """
+
+        from repro.experiments.digest import weights_digest
+        from repro.scenarios import resolve_scenario
+
+        spec, overrides = resolve_scenario(self.system)
+        params = dict(spec.default_params)
+        params.update(overrides)
+        return {
+            "system": spec.name,
+            "params": params,
+            "weights": weights_digest(self.weights, extra=self.architecture),
+            "engine": engine,
+            "budgets": {
+                "target_error": self.target_error,
+                "degree": self.degree,
+                "max_partitions": self.max_partitions,
+                "reach_steps": self.reach_steps,
+                "reach_box_scale": self.reach_box_scale,
+                "work_budget": self.work_budget,
+                "invariant_grid": self.invariant_grid,
+                "time_budget_seconds": self.time_budget_seconds,
+            },
+        }
+
 
 @dataclass
 class SweepJobResult:
@@ -96,6 +130,9 @@ class SweepJobResult:
     summary: Dict = field(default_factory=dict)
     error: Optional[str] = None
     elapsed_seconds: float = 0.0
+    #: True when the result was replayed from a run store instead of
+    #: executed (``elapsed_seconds`` is then the original measurement).
+    cached: bool = False
 
     @property
     def verified(self) -> bool:
@@ -239,6 +276,16 @@ class VerificationSweep:
     never forks a pool it cannot feed; ``processes<=1`` runs inline (no
     pool), which is also the deterministic mode the equivalence tests use.
     Results always come back in job order.
+
+    ``store`` enables digest-keyed result caching: each job's identity is
+    its :meth:`SweepJob.cache_config` (controller weight digest x analysis
+    budgets x engine), successful results are recorded in the
+    :class:`~repro.experiments.store.RunStore`, and jobs whose digest is
+    already present are replayed from disk instead of dispatched -- only
+    the misses ever reach the pool.  Errors and wall-clock-truncated
+    verdicts are never cached (they rerun on every sweep; see
+    :meth:`_cacheable`), and ``force=True`` executes every job but still
+    records the fresh results.
     """
 
     def __init__(
@@ -246,6 +293,8 @@ class VerificationSweep:
         jobs: Sequence[SweepJob],
         processes: Optional[int] = None,
         engine: str = "batched",
+        store=None,
+        force: bool = False,
     ):
         self.jobs = list(jobs)
         if processes is None:
@@ -254,20 +303,98 @@ class VerificationSweep:
         if engine not in ("batched", "scalar"):
             raise ValueError(f"unknown engine {engine!r}; choose 'batched' or 'scalar'")
         self.engine = engine
+        self.store = store
+        self.force = bool(force)
+
+    def _load_cached(self, key, job: SweepJob) -> SweepJobResult:
+        payload = self.store.load_result(key)
+        self.store.hits += 1
+        # Replay under the *requesting* job's labels: the digest canonicalises
+        # variant spellings, so the entry may have been produced by a job
+        # named after an equivalent spec (vanderpol?mu=1.50 vs ?mu=1.5).
+        summary = dict(payload.get("summary", {}))
+        if "controller" in summary:
+            summary["controller"] = job.name
+        return SweepJobResult(
+            name=job.name,
+            system=job.system,
+            status=payload["status"],
+            summary=summary,
+            error=payload.get("error"),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            cached=True,
+        )
+
+    @staticmethod
+    def _cacheable(job: SweepJob, result: SweepJobResult) -> bool:
+        """Only deterministic outcomes may be recorded.
+
+        Errors always rerun.  A wall-clock-truncated analysis
+        (``time_budget_seconds`` bound and a ``resource-exhausted`` verdict)
+        depends on machine load, so replaying it would make a transient
+        slowdown permanent; work-budget exhaustion is a deterministic count
+        and caches fine.
+        """
+
+        if result.status != "ok":
+            return False
+        if job.time_budget_seconds:
+            statuses = (
+                result.summary.get("reach_status"),
+                result.summary.get("invariant_status"),
+            )
+            if "resource-exhausted" in statuses:
+                return False
+        return True
+
+    def _save_result(self, key, result: SweepJobResult) -> None:
+        payload = {
+            "name": result.name,
+            "system": result.system,
+            "status": result.status,
+            "summary": result.summary,
+            "elapsed_seconds": result.elapsed_seconds,
+        }
+        if result.error:
+            payload["error"] = result.error
+        self.store.save(key, payload)
 
     def run(self) -> SweepReport:
         start = time.perf_counter()
         if not self.jobs:
             return SweepReport(results=[], elapsed_seconds=0.0, processes=self.processes, engine=self.engine)
-        if self.processes <= 1:
-            results = [run_sweep_job(job, engine=self.engine) for job in self.jobs]
-        else:
-            payloads = [(job, self.engine) for job in self.jobs]
-            context = multiprocessing.get_context("fork" if "fork" in multiprocessing.get_all_start_methods() else None)
-            with context.Pool(processes=self.processes) as pool:
-                results = pool.map(_pool_worker, payloads)
+
+        keys: List = [None] * len(self.jobs)
+        results: List[Optional[SweepJobResult]] = [None] * len(self.jobs)
+        pending = list(range(len(self.jobs)))
+        if self.store is not None:
+            pending = []
+            for index, job in enumerate(self.jobs):
+                keys[index] = self.store.key("verify", job.cache_config(self.engine))
+                if not self.force and self.store.contains(keys[index]):
+                    results[index] = self._load_cached(keys[index], job)
+                else:
+                    pending.append(index)
+
+        if pending:
+            if self.processes <= 1 or len(pending) == 1:
+                fresh = [run_sweep_job(self.jobs[index], engine=self.engine) for index in pending]
+            else:
+                payloads = [(self.jobs[index], self.engine) for index in pending]
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+                )
+                with context.Pool(processes=min(self.processes, len(pending))) as pool:
+                    fresh = pool.map(_pool_worker, payloads)
+            for index, result in zip(pending, fresh):
+                if self.store is not None:
+                    self.store.misses += 1
+                    if self._cacheable(self.jobs[index], result):
+                        self._save_result(keys[index], result)
+                results[index] = result
+
         return SweepReport(
-            results=results,
+            results=list(results),
             elapsed_seconds=time.perf_counter() - start,
             processes=self.processes,
             engine=self.engine,

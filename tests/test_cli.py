@@ -1,8 +1,23 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+def _exit_code(args, capsys=None):
+    """Run ``main(args)`` expecting it to bail; return the SystemExit code.
+
+    argparse-level failures exit with code 2 (message on stderr); command
+    failures raise ``SystemExit(message)``, whose code *is* the message
+    string (printed to stderr, process status 1).
+    """
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(args)
+    return excinfo.value.code
 
 
 class TestParser:
@@ -75,6 +90,92 @@ class TestParser:
     def test_verify_sweep_rejects_malformed_spec(self):
         with pytest.raises(SystemExit):
             main(["verify-sweep", "--spec", "too:many:colons:here"])
+
+
+class TestErrorPaths:
+    """Each failure mode asserts the exit code AND the message, not just 'raises'."""
+
+    @pytest.fixture
+    def saved_controller_dir(self, tmp_path):
+        """A hand-crafted save with exactly one controller, no training."""
+
+        from repro.nn import MLP
+        from repro.nn.serialization import save_state_dict
+
+        save_state_dict(MLP(2, 1, hidden_sizes=(4,)), tmp_path / "kappa_star.npz")
+        (tmp_path / "record.json").write_text(
+            json.dumps({"controllers": {"kappa_star": "kappa_star.npz"}})
+        )
+        return tmp_path
+
+    def test_unknown_scenario_exits_2_with_catalog(self, capsys):
+        code = _exit_code(["evaluate", "--system", "quadrotor", "--controller-dir", "x"])
+        assert code == 2  # argparse usage error
+        stderr = capsys.readouterr().err
+        assert "unknown scenario 'quadrotor'" in stderr
+        assert "vanderpol" in stderr  # the catalog is listed
+
+    def test_unknown_saved_controller_lists_available(self, saved_controller_dir):
+        code = _exit_code(
+            [
+                "evaluate",
+                "--system",
+                "vanderpol",
+                "--controller-dir",
+                str(saved_controller_dir),
+                "--controller",
+                "kappa_bogus",
+            ]
+        )
+        # SystemExit(message): the message is the code, process status 1.
+        assert isinstance(code, str)
+        assert "kappa_bogus" in code and "kappa_star" in code
+
+    def test_missing_controller_dir_names_the_directory(self, tmp_path):
+        code = _exit_code(
+            ["evaluate", "--system", "vanderpol", "--controller-dir", str(tmp_path / "nope")]
+        )
+        assert isinstance(code, str)
+        assert "no saved controllers found" in code and "nope" in code
+
+    def test_malformed_sweep_spec_too_many_fields(self):
+        code = _exit_code(["verify-sweep", "--spec", "too:many:colons:here"])
+        assert isinstance(code, str)
+        assert "bad --spec" in code and "SYSTEM:DIR[:CONTROLLER]" in code
+
+    def test_sweep_spec_unknown_system(self, saved_controller_dir):
+        code = _exit_code(["verify-sweep", "--spec", f"quadrotor:{saved_controller_dir}"])
+        assert isinstance(code, str)
+        assert "bad --spec" in code and "unknown scenario" in code
+
+    def test_sweep_spec_unreadable_record(self, tmp_path):
+        code = _exit_code(["verify-sweep", "--spec", f"vanderpol:{tmp_path / 'empty'}"])
+        assert isinstance(code, str)
+        assert "cannot read" in code and "record.json" in code
+
+    def test_sweep_spec_unknown_controller(self, saved_controller_dir):
+        code = _exit_code(
+            ["verify-sweep", "--spec", f"vanderpol:{saved_controller_dir}:kappa_bogus"]
+        )
+        assert isinstance(code, str)
+        assert "kappa_bogus" in code
+
+    def test_runs_show_missing_digest(self, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        code = _exit_code(["runs", "show", "--run-dir", str(store), "deadbeef"])
+        assert isinstance(code, str)
+        assert "no run entry matching digest 'deadbeef'" in code
+
+    def test_runs_list_missing_directory(self, tmp_path):
+        code = _exit_code(["runs", "list", "--run-dir", str(tmp_path / "absent")])
+        assert isinstance(code, str)
+        assert "does not exist" in code
+
+    def test_scenarios_run_resume_without_run_dir(self):
+        code = _exit_code(["scenarios", "run", "--scenario", "vanderpol", "--resume"])
+        assert isinstance(code, str)
+        assert "--resume/--force need --run-dir" in code
 
 
 class TestEndToEnd:
@@ -240,6 +341,31 @@ class TestEndToEnd:
         rows = csv_path.read_text().splitlines()
         # header + 2 scenarios x 2 experts x 3 perturbations
         assert len(rows) == 13
+
+    def test_train_run_dir_restores_second_run(self, tmp_path, capsys):
+        budget = [
+            "--mixing-epochs", "1", "--mixing-steps", "64", "--distill-epochs", "2",
+            "--dataset-size", "64", "--eval-samples", "8", "--seed", "0",
+        ]
+        store = tmp_path / "store"
+        assert main(["train", "--system", "vanderpol", "--output", str(tmp_path / "a"),
+                     "--run-dir", str(store)] + budget) == 0
+        first = capsys.readouterr().out
+        assert "recorded the run in" in first
+        assert main(["train", "--system", "vanderpol", "--output", str(tmp_path / "b"),
+                     "--run-dir", str(store)] + budget) == 0
+        second = capsys.readouterr().out
+        assert "restored saved controllers from the run store" in second
+        assert (tmp_path / "b" / "kappa_star.npz").read_bytes() == (
+            tmp_path / "a" / "kappa_star.npz"
+        ).read_bytes()
+        assert main(["runs", "list", "--run-dir", str(store)]) == 0
+        listing = capsys.readouterr().out
+        assert "train" in listing and "1 entry" in listing
+        digest = json.loads((tmp_path / "a" / "record.json").read_text())["digest"]
+        assert main(["runs", "show", "--run-dir", str(store), digest[:12]]) == 0
+        shown = capsys.readouterr().out
+        assert '"stage": "train"' in shown
 
     def test_verify_sweep_explicit_spec_and_pool(self, trained_dir, capsys):
         exit_code = main(
