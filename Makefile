@@ -3,7 +3,10 @@
 # only: no scenario_smoke cells, no benchmarks -- run `test-cov` alongside it
 # when touching the experiments run store); `test-cov` enforces a >=80%
 # line-coverage floor on src/repro/experiments via tools/check_coverage.py
-# (pytest-cov when installed, a stdlib settrace collector otherwise);
+# (pytest-cov when installed, a stdlib settrace collector otherwise), with
+# the shard/claim/merge packs in its test list so the coverage floor spans
+# the distributed-coordination code too; `shard-smoke` runs a real 2-shard
+# matrix against one run directory and merges it back end-to-end;
 # `scenario-smoke` runs the fast train->evaluate->verify cell for every
 # registered scenario (also collected by `test` via the scenario_smoke
 # pytest marker); `bench` regenerates the paper's tables/figures at the
@@ -15,7 +18,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-cov scenario-smoke bench verify-bench train-bench lint
+.PHONY: test test-fast test-cov shard-smoke scenario-smoke bench verify-bench train-bench lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +28,15 @@ test-fast:
 
 test-cov:
 	$(PYTHON) tools/check_coverage.py --floor 80
+
+SHARD_SMOKE_DIR ?= runs/shard-smoke
+shard-smoke:
+	rm -rf $(SHARD_SMOKE_DIR)
+	$(PYTHON) -m repro scenarios run --scenario pendulum --scenario cartpole \
+		--no-train --no-verify --samples 4 --run-dir $(SHARD_SMOKE_DIR) --shard 1/2
+	$(PYTHON) -m repro scenarios run --scenario pendulum --scenario cartpole \
+		--no-train --no-verify --samples 4 --run-dir $(SHARD_SMOKE_DIR) --shard 2/2
+	$(PYTHON) -m repro runs merge --run-dir $(SHARD_SMOKE_DIR) --csv $(SHARD_SMOKE_DIR)/matrix.csv
 
 scenario-smoke:
 	REPRO_SCALE=quick $(PYTHON) -m pytest -q -m scenario_smoke tests

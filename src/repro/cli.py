@@ -29,7 +29,8 @@ Five sub-commands cover the daily workflow of the reproduction:
 
 ``runs``
     Inspect a digest-keyed experiment run store (``runs list``, ``runs
-    show DIGEST``) or collect its garbage (``runs gc``).
+    show DIGEST``), reassemble a sharded matrix run into the canonical
+    single-process CSV (``runs merge``) or collect garbage (``runs gc``).
 
 Every ``--system`` argument resolves through the scenario registry
 (:mod:`repro.scenarios`), so aliases and parameter-overridable variants
@@ -39,6 +40,9 @@ pipeline stage in a :class:`repro.experiments.RunStore` keyed by the
 digest of its resolved config: rerunning an unchanged command serves the
 results from the store, and an interrupted ``scenarios run`` resumed with
 ``--resume`` executes only the missing cells (see ``docs/experiments.md``).
+``scenarios run --shard i/N`` distributes one matrix across workers or
+hosts sharing a run directory, with work-stealing for stragglers, and
+``runs merge`` reproduces the byte-identical single-process CSV.
 """
 
 from __future__ import annotations
@@ -79,6 +83,21 @@ def _scenario_argument(value: str) -> str:
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error))
     return value
+
+
+def _shard_argument(value: str):
+    """Validate a ``--shard I/N`` spec at parse time.
+
+    Malformed specs (``0/0``, ``3/2``, non-integers) are argparse errors:
+    exit code 2 with the reason on stderr.
+    """
+
+    from repro.scenarios import ShardSpec
+
+    try:
+        return ShardSpec.parse(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def _add_system_argument(parser: argparse.ArgumentParser, default: Optional[str] = "vanderpol") -> None:
@@ -287,6 +306,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute every cell and overwrite the store entries (needs --run-dir)",
     )
+    run.add_argument(
+        "--shard",
+        type=_shard_argument,
+        default=None,
+        metavar="I/N",
+        help="run only shard I of N (1-based) against the shared --run-dir; every shard "
+        "writes digest-keyed cells into the same store, and `repro runs merge` "
+        "reassembles the full CSV once all cells exist",
+    )
+    run.add_argument(
+        "--shard-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan the matrix across N local shard worker processes against --run-dir "
+        "and merge when they finish (single-host alternative to running N --shard "
+        "commands)",
+    )
+    run.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="with --shard/--shard-workers: do not pick up unfinished cells of other "
+        "shards (by default an idle shard steals stragglers' work)",
+    )
+    run.add_argument(
+        "--claim-lease",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="with --shard/--shard-workers: seconds without a heartbeat before another "
+        "shard may take over a claimed cell (default 60)",
+    )
+    run.add_argument(
+        "--shard-time-budget",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --shard: wall-clock budget for this shard; on exhaustion the report "
+        "status is 'resource-exhausted' and the remaining cells stay unclaimed for "
+        "other shards (0 = unbounded)",
+    )
 
     runs = subparsers.add_parser("runs", help="inspect or clean an experiment run store")
     runs_commands = runs.add_subparsers(dest="runs_command", required=True)
@@ -296,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
     runs_show = runs_commands.add_parser("show", help="print one entry's config and result")
     runs_show.add_argument("--run-dir", type=Path, required=True)
     runs_show.add_argument("digest", help="entry digest (any unambiguous prefix)")
+    runs_merge = runs_commands.add_parser(
+        "merge", help="reassemble a sharded `scenarios run` into the single-process CSV"
+    )
+    runs_merge.add_argument("--run-dir", type=Path, required=True,
+                            help="the run directory the shards wrote into")
+    runs_merge.add_argument("--csv", type=Path, default=None,
+                            help="write the merged per-cell CSV to this path")
+    runs_merge.add_argument("--jobs", type=int, default=1,
+                            help="unused during replay; kept for symmetry with `scenarios run`")
     runs_gc = runs_commands.add_parser(
         "gc", help="remove incomplete entries (and, with --stage, whole stages)"
     )
@@ -553,7 +622,17 @@ def _command_scenarios(args: argparse.Namespace) -> int:
 
     if (args.resume or args.force) and args.run_dir is None:
         raise SystemExit("--resume/--force need --run-dir (there is no store to resume from)")
-    report = run_scenario_matrix(
+    if args.shard is not None and args.shard_workers:
+        raise SystemExit("--shard and --shard-workers are mutually exclusive "
+                         "(one names this worker's slice, the other spawns local workers)")
+    if (args.shard is not None or args.shard_workers) and args.run_dir is None:
+        raise SystemExit("--shard/--shard-workers need --run-dir "
+                         "(shards coordinate through a shared run store)")
+    if args.shard is not None and args.csv is not None:
+        raise SystemExit("--csv is not available on a single shard (its rows are partial); "
+                         "merge the full CSV afterwards with `repro runs merge --csv`")
+
+    matrix_kwargs = dict(
         scenarios=args.scenario,
         samples=args.samples,
         fraction=args.fraction,
@@ -562,15 +641,43 @@ def _command_scenarios(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         seed=args.seed,
         budget_scale=args.budget_scale,
-        progress=print,
         run_dir=args.run_dir,
         force=args.force,
     )
+    if args.shard_workers:
+        from repro.scenarios import run_sharded_matrix
+
+        matrix_kwargs.pop("run_dir")
+        report = run_sharded_matrix(
+            args.shard_workers,
+            args.run_dir,
+            progress=print,
+            steal=not args.no_steal,
+            claim_lease=args.claim_lease,
+            **matrix_kwargs,
+        )
+    elif args.shard is not None:
+        report = run_scenario_matrix(
+            progress=print,
+            shard=args.shard,
+            steal=not args.no_steal,
+            claim_lease=args.claim_lease,
+            shard_time_budget=args.shard_time_budget or None,
+            **matrix_kwargs,
+        )
+    else:
+        report = run_scenario_matrix(progress=print, **matrix_kwargs)
     print(report.table())
     if args.run_dir is not None:
         print(
             f"run store {args.run_dir}: {report.cells_cached} cell(s) served from the store, "
             f"{report.cells_computed} computed"
+        )
+    if args.shard is not None:
+        print(
+            f"shard {report.shard} ({report.status}): {report.cells_stolen} stolen, "
+            f"{report.cells_skipped} left to other shards; assemble the full matrix with "
+            f"`repro runs merge --run-dir {args.run_dir}`"
         )
     if args.csv is not None:
         path = report.to_csv(args.csv)
@@ -586,6 +693,28 @@ def _command_runs(args: argparse.Namespace) -> int:
     store = RunStore(args.run_dir)
     if args.runs_command != "gc" and not store.root.is_dir():
         raise SystemExit(f"run directory {store.root} does not exist")
+
+    if args.runs_command == "merge":
+        from repro.scenarios import MatrixIncompleteError, merge_matrix_run
+
+        try:
+            report = merge_matrix_run(args.run_dir, jobs=args.jobs, progress=print)
+        except FileNotFoundError:
+            raise SystemExit(
+                f"no matrix manifest in {args.run_dir}: only sharded `scenarios run "
+                f"--shard` runs record one (nothing to merge)"
+            )
+        except MatrixIncompleteError as error:
+            raise SystemExit(str(error))
+        print(report.table())
+        print(
+            f"merged {report.num_cells} cell(s) from {store.root} "
+            f"({report.cells_cached} replayed)"
+        )
+        if args.csv is not None:
+            path = report.to_csv(args.csv)
+            print(f"wrote per-cell records to {path}")
+        return 0
 
     if args.runs_command == "list":
         entries = store.entries(stage=args.stage)

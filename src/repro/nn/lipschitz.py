@@ -71,12 +71,19 @@ def network_weights_digest(network: MLP) -> str:
     return _weights_digest(network)
 
 
-def spectral_norm(matrix: np.ndarray, iterations: int = 64, seed: Optional[int] = 0) -> float:
+def spectral_norm(
+    matrix: np.ndarray,
+    iterations: int = 4096,
+    seed: Optional[int] = 0,
+    tol: float = 1e-10,
+) -> float:
     """Largest singular value of ``matrix`` via power iteration.
 
     A closed-form SVD would also work for the tiny matrices used here; power
     iteration is kept because it matches what Lipschitz-regularisation papers
-    use and scales to wider layers.
+    use and scales to wider layers.  Iteration stops once the estimate is
+    stationary to within ``tol`` (relative); ``iterations`` is the cap needed
+    when the top two singular values nearly coincide and convergence is slow.
     """
 
     matrix = np.asarray(matrix, dtype=np.float64)
@@ -88,6 +95,7 @@ def spectral_norm(matrix: np.ndarray, iterations: int = 64, seed: Optional[int] 
     if norm == 0.0:
         return 0.0
     vector /= norm
+    estimate = 0.0
     for _ in range(iterations):
         product = matrix @ vector
         product_norm = np.linalg.norm(product)
@@ -99,6 +107,9 @@ def spectral_norm(matrix: np.ndarray, iterations: int = 64, seed: Optional[int] 
         if vector_norm == 0.0:
             return 0.0
         vector /= vector_norm
+        if abs(vector_norm - estimate) <= tol * max(vector_norm, 1.0):
+            break
+        estimate = vector_norm
     return float(np.linalg.norm(matrix @ vector))
 
 

@@ -30,8 +30,14 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios import catalog  # noqa: F401  (registers the built-ins)
 from repro.scenarios.matrix import (
+    MatrixCell,
+    MatrixIncompleteError,
     ScenarioMatrixReport,
+    ShardSpec,
+    merge_matrix_run,
+    plan_matrix_cells,
     run_scenario_matrix,
+    run_sharded_matrix,
     scale_budget_hints,
 )
 
@@ -45,7 +51,13 @@ __all__ = [
     "list_scenarios",
     "scenario_specs",
     "make_scenario_system",
+    "MatrixCell",
+    "MatrixIncompleteError",
     "ScenarioMatrixReport",
+    "ShardSpec",
+    "merge_matrix_run",
+    "plan_matrix_cells",
     "run_scenario_matrix",
+    "run_sharded_matrix",
     "scale_budget_hints",
 ]

@@ -17,7 +17,7 @@ feed (and amortising Python overhead saturates quickly on one core).
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 #: Default lockstep environment width per CPU, and its cap.  On a 1-CPU
 #: container this yields 8 environments: enough to amortise the per-step
@@ -54,6 +54,43 @@ def default_worker_count(jobs: Optional[int] = None) -> int:
     if jobs is not None:
         workers = min(workers, max(0, int(jobs)))
     return max(1, workers)
+
+
+def spawn_workers(
+    target: Callable,
+    args_list: Sequence[Tuple],
+    context: str = "fork",
+    join_timeout: Optional[float] = None,
+) -> List[int]:
+    """Run ``target(*args)`` once per entry in plain worker processes.
+
+    Unlike a ``multiprocessing.Pool`` these workers are *not* daemonic, so
+    each may fork its own pool -- which is exactly what a matrix shard does
+    when it fans its verification jobs out
+    (:func:`repro.scenarios.run_sharded_matrix`).  All workers are started
+    up front (the caller sizes the list; shards are coarse units, not a
+    queue of small jobs) and joined in order; returns one exit code per
+    worker (0 = clean, negative = killed by that signal), letting the
+    caller decide whether a crashed worker is fatal or -- with work-stealing
+    -- just a straggler the others covered for.
+    """
+
+    import multiprocessing
+
+    if context not in multiprocessing.get_all_start_methods():
+        context = None  # platform default
+    ctx = multiprocessing.get_context(context)
+    workers = [ctx.Process(target=target, args=tuple(args)) for args in args_list]
+    for worker in workers:
+        worker.start()
+    exit_codes: List[int] = []
+    for worker in workers:
+        worker.join(join_timeout)
+        if worker.is_alive():
+            worker.terminate()
+            worker.join()
+        exit_codes.append(worker.exitcode if worker.exitcode is not None else -15)
+    return exit_codes
 
 
 def default_num_envs() -> int:

@@ -26,6 +26,7 @@ The CLI front end is ``python -m repro verify-sweep``.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -286,6 +287,14 @@ class VerificationSweep:
     verdicts are never cached (they rerun on every sweep; see
     :meth:`_cacheable`), and ``force=True`` executes every job but still
     records the fresh results.
+
+    ``claims`` (a :class:`~repro.experiments.store.ClaimBoard`, sharded
+    matrix runs) coordinates concurrent sweeps over one store: each pending
+    job is claimed before dispatch and held (heartbeaten) while it runs;
+    jobs another worker already claims come back with
+    ``status='skipped'`` instead of executing twice.  Skipped jobs are not
+    failures -- the claimant publishes (or its claim goes stale and a later
+    sweep takes over).
     """
 
     def __init__(
@@ -295,6 +304,7 @@ class VerificationSweep:
         engine: str = "batched",
         store=None,
         force: bool = False,
+        claims=None,
     ):
         self.jobs = list(jobs)
         if processes is None:
@@ -304,6 +314,9 @@ class VerificationSweep:
             raise ValueError(f"unknown engine {engine!r}; choose 'batched' or 'scalar'")
         self.engine = engine
         self.store = store
+        if claims is not None and store is None:
+            raise ValueError("claim-coordinated sweeps need a run store")
+        self.claims = claims
         self.force = bool(force)
 
     def _load_cached(self, key, job: SweepJob) -> SweepJobResult:
@@ -376,22 +389,55 @@ class VerificationSweep:
                 else:
                     pending.append(index)
 
-        if pending:
-            if self.processes <= 1 or len(pending) == 1:
-                fresh = [run_sweep_job(self.jobs[index], engine=self.engine) for index in pending]
-            else:
-                payloads = [(self.jobs[index], self.engine) for index in pending]
-                context = multiprocessing.get_context(
-                    "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        claimed: List[int] = []
+        if pending and self.claims is not None:
+            for index in pending:
+                if not self.force and self.store.contains(keys[index]):
+                    results[index] = self._load_cached(keys[index], job=self.jobs[index])
+                elif self.claims.acquire(keys[index]):
+                    if not self.force and self.store.contains(keys[index]):
+                        # Published between the contains probe and the claim.
+                        self.claims.release(keys[index])
+                        results[index] = self._load_cached(keys[index], job=self.jobs[index])
+                    else:
+                        claimed.append(index)
+                else:
+                    results[index] = SweepJobResult(
+                        name=self.jobs[index].name,
+                        system=self.jobs[index].system,
+                        status="skipped",
+                    )
+            pending = claimed
+
+        try:
+            if pending:
+                hold = (
+                    self.claims.hold([keys[index] for index in pending])
+                    if self.claims is not None
+                    else contextlib.nullcontext()
                 )
-                with context.Pool(processes=min(self.processes, len(pending))) as pool:
-                    fresh = pool.map(_pool_worker, payloads)
-            for index, result in zip(pending, fresh):
-                if self.store is not None:
-                    self.store.misses += 1
-                    if self._cacheable(self.jobs[index], result):
-                        self._save_result(keys[index], result)
-                results[index] = result
+                with hold:
+                    if self.processes <= 1 or len(pending) == 1:
+                        fresh = [
+                            run_sweep_job(self.jobs[index], engine=self.engine) for index in pending
+                        ]
+                    else:
+                        payloads = [(self.jobs[index], self.engine) for index in pending]
+                        context = multiprocessing.get_context(
+                            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+                        )
+                        with context.Pool(processes=min(self.processes, len(pending))) as pool:
+                            fresh = pool.map(_pool_worker, payloads)
+                for index, result in zip(pending, fresh):
+                    if self.store is not None:
+                        self.store.misses += 1
+                        if self._cacheable(self.jobs[index], result):
+                            self._save_result(keys[index], result)
+                    results[index] = result
+        finally:
+            if self.claims is not None:
+                for index in claimed:
+                    self.claims.release(keys[index])
 
         return SweepReport(
             results=list(results),

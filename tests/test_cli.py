@@ -177,6 +177,52 @@ class TestErrorPaths:
         assert isinstance(code, str)
         assert "--resume/--force need --run-dir" in code
 
+    # "-1/3" is absent: argparse consumes a leading dash as an option flag
+    # before the validator runs (still exit 2, but a different message).
+    @pytest.mark.parametrize("spec", ["0/0", "3/2", "0/4", "a/b", "1", "1/2/3", "1.5/2", ""])
+    def test_malformed_shard_spec_exits_2_with_reason(self, spec, capsys):
+        code = _exit_code(["scenarios", "run", "--scenario", "vanderpol", "--shard", spec])
+        assert code == 2  # argparse usage error
+        assert "bad shard spec" in capsys.readouterr().err
+
+    def test_shard_without_run_dir(self):
+        code = _exit_code(["scenarios", "run", "--scenario", "vanderpol", "--shard", "1/2"])
+        assert isinstance(code, str)
+        assert "--shard/--shard-workers need --run-dir" in code
+
+    def test_shard_workers_without_run_dir(self):
+        code = _exit_code(["scenarios", "run", "--scenario", "vanderpol", "--shard-workers", "2"])
+        assert isinstance(code, str)
+        assert "need --run-dir" in code
+
+    def test_shard_and_shard_workers_are_mutually_exclusive(self, tmp_path):
+        code = _exit_code(
+            ["scenarios", "run", "--scenario", "vanderpol", "--run-dir", str(tmp_path / "s"),
+             "--shard", "1/2", "--shard-workers", "2"]
+        )
+        assert isinstance(code, str)
+        assert "mutually exclusive" in code
+
+    def test_shard_rejects_csv(self, tmp_path):
+        code = _exit_code(
+            ["scenarios", "run", "--scenario", "vanderpol", "--run-dir", str(tmp_path / "s"),
+             "--shard", "1/2", "--csv", str(tmp_path / "out.csv")]
+        )
+        assert isinstance(code, str)
+        assert "runs merge" in code
+
+    def test_runs_merge_without_manifest(self, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        code = _exit_code(["runs", "merge", "--run-dir", str(store)])
+        assert isinstance(code, str)
+        assert "no matrix manifest" in code
+
+    def test_runs_merge_missing_directory(self, tmp_path):
+        code = _exit_code(["runs", "merge", "--run-dir", str(tmp_path / "absent")])
+        assert isinstance(code, str)
+        assert "does not exist" in code
+
 
 class TestEndToEnd:
     @pytest.fixture(scope="class")
@@ -366,6 +412,37 @@ class TestEndToEnd:
         assert main(["runs", "show", "--run-dir", str(store), digest[:12]]) == 0
         shown = capsys.readouterr().out
         assert '"stage": "train"' in shown
+
+    def test_scenarios_run_sharded_and_merged_matches_single_process(self, tmp_path, capsys):
+        """The CLI shard protocol end-to-end: N shard commands + runs merge."""
+
+        base = [
+            "scenarios", "run", "--scenario", "pendulum", "--no-train", "--no-verify",
+            "--samples", "4",
+        ]
+        reference_csv = tmp_path / "reference.csv"
+        assert main(base + ["--run-dir", str(tmp_path / "ref"), "--csv", str(reference_csv)]) == 0
+        shard_dir = tmp_path / "sharded"
+        assert main(base + ["--run-dir", str(shard_dir), "--shard", "1/2", "--no-steal"]) == 0
+        output = capsys.readouterr().out
+        assert "shard 1/2 (ok)" in output and "repro runs merge" in output
+        assert main(base + ["--run-dir", str(shard_dir), "--shard", "2/2", "--no-steal"]) == 0
+        capsys.readouterr()
+        merged_csv = tmp_path / "merged.csv"
+        assert main(["runs", "merge", "--run-dir", str(shard_dir), "--csv", str(merged_csv)]) == 0
+        assert "merged" in capsys.readouterr().out
+        assert merged_csv.read_bytes() == reference_csv.read_bytes()
+
+    def test_runs_merge_incomplete_store_names_missing_cells(self, tmp_path, capsys):
+        base = [
+            "scenarios", "run", "--scenario", "pendulum", "--no-train", "--no-verify",
+            "--samples", "4", "--run-dir", str(tmp_path / "partial"),
+        ]
+        assert main(base + ["--shard", "1/2", "--no-steal"]) == 0
+        capsys.readouterr()
+        code = _exit_code(["runs", "merge", "--run-dir", str(tmp_path / "partial")])
+        assert isinstance(code, str)
+        assert "missing" in code and "evaluate/" in code
 
     def test_verify_sweep_explicit_spec_and_pool(self, trained_dir, capsys):
         exit_code = main(

@@ -1,0 +1,258 @@
+"""Sharded scenario-matrix runs: split, steal, merge — byte-identically.
+
+Integration pack for the shard protocol on the *real* engines (training,
+batched evaluation, verification): shards splitting one run directory must
+jointly compute every cell exactly once, stealing must change wall-clock
+ownership but never row content, and ``merge_matrix_run`` must reproduce
+the single-process CSV byte-for-byte regardless of shard count, execution
+order or which shard did the work.  (The algebraic shard properties are
+covered by Hypothesis in ``test_shard_properties.py``; the crash/rescue
+paths by ``test_matrix_shard_faults.py``.)
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    MatrixIncompleteError,
+    ShardSpec,
+    merge_matrix_run,
+    plan_matrix_cells,
+    run_scenario_matrix,
+    run_sharded_matrix,
+)
+from repro.scenarios.matrix import read_matrix_manifest
+
+#: Evaluate-only two-scenario matrix: (2 + 2 experts) x 2 perturbations.
+EVAL_KWARGS = dict(
+    scenarios=["vanderpol", "pendulum"],
+    perturbations=("none", "noise"),
+    samples=4,
+    train=False,
+    verify=False,
+    seed=0,
+)
+NUM_EVAL_CELLS = 8
+
+TINY_TRAIN = dict(mixing_epochs=1, mixing_steps=64, distill_epochs=2, dataset_size=64, eval_samples=8)
+TINY_VERIFY = dict(target_error=1.0, degree=2, max_partitions=64, reach_steps=2)
+
+#: Full vanderpol matrix: train + 6 evaluate cells + verify = 8 cells.
+FULL_KWARGS = dict(
+    scenarios=["vanderpol"],
+    perturbations=("none", "noise"),
+    samples=4,
+    train=True,
+    verify=True,
+    jobs=1,
+    seed=0,
+    train_overrides=TINY_TRAIN,
+    verify_overrides=TINY_VERIFY,
+)
+FULL_NUM_CELLS = 8
+
+
+@pytest.fixture(scope="module")
+def eval_reference(tmp_path_factory):
+    """Single-process evaluate-only run: (csv bytes, row list)."""
+
+    root = tmp_path_factory.mktemp("shard-eval-ref")
+    report = run_scenario_matrix(run_dir=root / "store", **EVAL_KWARGS)
+    assert report.cells_computed == NUM_EVAL_CELLS
+    return report.to_csv(root / "reference.csv").read_bytes(), report.rows
+
+
+@pytest.fixture(scope="module")
+def full_reference(tmp_path_factory):
+    """Single-process train+verify run: (csv bytes, cells computed)."""
+
+    root = tmp_path_factory.mktemp("shard-full-ref")
+    report = run_scenario_matrix(run_dir=root / "store", **FULL_KWARGS)
+    assert report.cells_computed == FULL_NUM_CELLS
+    return report.to_csv(root / "reference.csv").read_bytes(), report.cells_computed
+
+
+class TestShardedMergeEquivalence:
+    @pytest.mark.parametrize("count", [2, 3])
+    def test_merge_reproduces_the_single_process_csv(self, count, eval_reference, tmp_path):
+        csv_bytes, _ = eval_reference
+        shard_dir = tmp_path / "store"
+        for index in range(1, count + 1):
+            run_scenario_matrix(
+                run_dir=shard_dir, shard=ShardSpec(index, count), steal=False, **EVAL_KWARGS
+            )
+        merged = merge_matrix_run(shard_dir)
+        assert merged.to_csv(tmp_path / "merged.csv").read_bytes() == csv_bytes
+        assert merged.cells_cached == NUM_EVAL_CELLS and merged.cells_computed == 0
+
+    def test_completion_order_does_not_matter(self, eval_reference, tmp_path):
+        csv_bytes, _ = eval_reference
+        shard_dir = tmp_path / "store"
+        for index in (3, 1, 2):
+            run_scenario_matrix(
+                run_dir=shard_dir, shard=f"{index}/3", steal=False, **EVAL_KWARGS
+            )
+        merged = merge_matrix_run(shard_dir)
+        assert merged.to_csv(tmp_path / "merged.csv").read_bytes() == csv_bytes
+
+    def test_shards_compute_disjoint_slices(self, eval_reference, tmp_path):
+        _, reference_rows = eval_reference
+        shard_dir = tmp_path / "store"
+        reports = [
+            run_scenario_matrix(
+                run_dir=shard_dir, shard=ShardSpec(index, 2), steal=False, **EVAL_KWARGS
+            )
+            for index in (1, 2)
+        ]
+        assert sum(r.cells_computed for r in reports) == NUM_EVAL_CELLS
+        assert all(r.cells_cached == 0 and r.cells_stolen == 0 for r in reports)
+        keys = [
+            {(row["scenario"], row["controller"], row["perturbation"]) for row in r.rows}
+            for r in reports
+        ]
+        assert not (keys[0] & keys[1]), "shard rows must be disjoint without stealing"
+        merged_keys = keys[0] | keys[1]
+        assert merged_keys == {
+            (row["scenario"], row["controller"], row["perturbation"]) for row in reference_rows
+        }
+
+    def test_shard_string_argument_accepted(self, tmp_path):
+        report = run_scenario_matrix(run_dir=tmp_path / "s", shard="1/2", **EVAL_KWARGS)
+        assert report.shard == "1/2"
+        assert report.status == "ok"
+
+
+class TestManifest:
+    def test_shard_run_writes_a_manifest(self, tmp_path):
+        run_scenario_matrix(run_dir=tmp_path / "s", shard="1/2", steal=False, **EVAL_KWARGS)
+        manifest = read_matrix_manifest(tmp_path / "s")
+        assert manifest["scenarios"] == ["vanderpol", "pendulum"]
+        assert manifest["samples"] == 4 and manifest["train"] is False
+
+    def test_conflicting_matrix_is_rejected(self, tmp_path):
+        run_scenario_matrix(run_dir=tmp_path / "s", shard="1/2", steal=False, **EVAL_KWARGS)
+        with pytest.raises(ValueError, match="different matrix"):
+            run_scenario_matrix(
+                run_dir=tmp_path / "s", shard="2/2", steal=False,
+                **{**EVAL_KWARGS, "samples": 5},
+            )
+
+    def test_plain_store_runs_write_no_manifest(self, tmp_path):
+        run_scenario_matrix(run_dir=tmp_path / "s", **EVAL_KWARGS)
+        with pytest.raises(FileNotFoundError):
+            read_matrix_manifest(tmp_path / "s")
+
+    def test_merge_without_manifest_raises(self, tmp_path):
+        run_scenario_matrix(run_dir=tmp_path / "s", **EVAL_KWARGS)
+        with pytest.raises(FileNotFoundError):
+            merge_matrix_run(tmp_path / "s")
+
+
+class TestIncompleteMerge:
+    def test_merge_of_a_partial_store_names_the_missing_cells(self, tmp_path):
+        run_scenario_matrix(run_dir=tmp_path / "s", shard="1/2", steal=False, **EVAL_KWARGS)
+        with pytest.raises(MatrixIncompleteError) as excinfo:
+            merge_matrix_run(tmp_path / "s")
+        missing_positions = [
+            p for p in range(len(plan_matrix_cells(**{
+                k: EVAL_KWARGS[k] for k in ("scenarios", "perturbations", "train", "verify")
+            })))
+            if ShardSpec(2, 2).owns(p)
+        ]
+        assert len(excinfo.value.missing) == len(missing_positions)
+        assert all(entry.startswith("evaluate/") for entry in excinfo.value.missing)
+        assert "--resume" in str(excinfo.value)
+
+    def test_offline_flag_requires_a_store(self):
+        with pytest.raises(ValueError, match="offline replay needs a run store"):
+            run_scenario_matrix(offline=True, **EVAL_KWARGS)
+
+    def test_shard_requires_a_store(self):
+        with pytest.raises(ValueError, match="sharded runs need a run store"):
+            run_scenario_matrix(shard="1/2", **EVAL_KWARGS)
+
+
+class TestWorkStealing:
+    def test_stealing_shard_covers_absent_siblings(self, full_reference, tmp_path):
+        csv_bytes, reference_computed = full_reference
+        report = run_scenario_matrix(run_dir=tmp_path / "s", shard="1/2", steal=True, **FULL_KWARGS)
+        assert report.cells_computed == reference_computed, "the lone shard must do all the work"
+        assert report.cells_stolen > 0
+        merged = merge_matrix_run(tmp_path / "s")
+        assert merged.to_csv(tmp_path / "merged.csv").read_bytes() == csv_bytes
+
+    def test_stealing_on_and_off_agree_on_rows_and_accounting(self, full_reference, tmp_path):
+        """Satellite: stealing changes who computes, never what is computed."""
+
+        csv_bytes, reference_computed = full_reference
+        stealing = run_scenario_matrix(
+            run_dir=tmp_path / "steal", shard="1/2", steal=True, **FULL_KWARGS
+        )
+        no_steal = [
+            run_scenario_matrix(
+                run_dir=tmp_path / "plain", shard=ShardSpec(index, 2), steal=False, **FULL_KWARGS
+            )
+            for index in (1, 2)
+        ]
+        # Same total work either way (the no-steal pair may add cache
+        # replays, e.g. the second shard restoring the trained student).
+        assert stealing.cells_computed == sum(r.cells_computed for r in no_steal)
+        assert stealing.cells_computed == reference_computed
+        merged_stealing = merge_matrix_run(tmp_path / "steal")
+        merged_plain = merge_matrix_run(tmp_path / "plain")
+        assert merged_stealing.rows == merged_plain.rows
+        assert merged_stealing.to_csv(tmp_path / "a.csv").read_bytes() == csv_bytes
+        assert merged_plain.to_csv(tmp_path / "b.csv").read_bytes() == csv_bytes
+
+    def test_late_straggler_finds_everything_done(self, full_reference, tmp_path):
+        run_scenario_matrix(run_dir=tmp_path / "s", shard="1/2", steal=True, **FULL_KWARGS)
+        straggler = run_scenario_matrix(
+            run_dir=tmp_path / "s", shard="2/2", steal=True, **FULL_KWARGS
+        )
+        assert straggler.cells_computed == 0
+        assert straggler.cells_stolen == 0
+        assert straggler.cells_cached > 0  # its own cells replay from the store
+
+
+class TestShardTimeBudget:
+    def test_exhausted_shard_reports_and_leaves_cells_unclaimed(self, eval_reference, tmp_path):
+        csv_bytes, _ = eval_reference
+        exhausted = run_scenario_matrix(
+            run_dir=tmp_path / "s", shard="1/2", shard_time_budget=1e-9, **EVAL_KWARGS
+        )
+        assert exhausted.status == "resource-exhausted"
+        assert exhausted.cells_computed == 0
+        claims_dir = tmp_path / "s" / ".claims"
+        assert not claims_dir.exists() or not list(claims_dir.iterdir())
+        # A sibling with time picks up everything the exhausted shard left.
+        rescue = run_scenario_matrix(run_dir=tmp_path / "s", shard="2/2", steal=True, **EVAL_KWARGS)
+        assert rescue.cells_computed == NUM_EVAL_CELLS
+        merged = merge_matrix_run(tmp_path / "s")
+        assert merged.to_csv(tmp_path / "merged.csv").read_bytes() == csv_bytes
+
+    def test_unexhausted_budget_changes_nothing(self, eval_reference, tmp_path):
+        csv_bytes, _ = eval_reference
+        report = run_scenario_matrix(
+            run_dir=tmp_path / "s", shard="1/1", shard_time_budget=3600.0, **EVAL_KWARGS
+        )
+        assert report.status == "ok"
+        assert report.cells_computed == NUM_EVAL_CELLS
+        merged = merge_matrix_run(tmp_path / "s")
+        assert merged.to_csv(tmp_path / "merged.csv").read_bytes() == csv_bytes
+
+
+class TestLocalShardWorkers:
+    def test_run_sharded_matrix_merges_to_the_reference_csv(self, eval_reference, tmp_path):
+        csv_bytes, _ = eval_reference
+        report = run_sharded_matrix(2, tmp_path / "s", **EVAL_KWARGS)
+        assert report.to_csv(tmp_path / "merged.csv").read_bytes() == csv_bytes
+        summaries = sorted((tmp_path / "s" / "shards").glob("*.json"))
+        assert [path.name for path in summaries] == ["1-of-2.json", "2-of-2.json"]
+        accounted = [json.loads(path.read_text()) for path in summaries]
+        assert all(summary["status"] == "ok" for summary in accounted)
+        assert sum(summary["cells_computed"] for summary in accounted) == NUM_EVAL_CELLS
+
+    def test_rejects_a_nonpositive_shard_count(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one shard"):
+            run_sharded_matrix(0, tmp_path / "s", **EVAL_KWARGS)

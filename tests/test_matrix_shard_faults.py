@@ -1,0 +1,351 @@
+"""Fault injection for sharded matrix runs: crashes, SIGKILL, stale claims.
+
+The shard protocol's central promise is that worker death is never fatal
+to the *matrix*: every completed cell is already published under its
+digest, an in-flight cell's claim goes stale once its lease expires, and
+any surviving (or restarted) shard takes the work over.  This pack kills
+workers three ways -- an exception raised from the ``on_cell`` hook, a
+``SIGKILL`` delivered mid-cell to a forked worker process, and a
+hand-planted foreign claim -- and asserts the rerun-and-merge flow always
+reproduces the byte-identical single-process CSV (the PR's acceptance
+criterion, pinned here for the 4-shard pendulum x cartpole grid).
+
+``ClaimBoard`` unit tests live here too: the lease/steal/heartbeat
+mechanics these recovery paths rest on.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+import repro.scenarios.matrix as matrix_module
+from repro.core.cocktail import CocktailPipeline
+from repro.experiments import ClaimBoard, RunStore
+from repro.scenarios import (
+    ShardSpec,
+    merge_matrix_run,
+    plan_matrix_cells,
+    resolve_scenario,
+    run_scenario_matrix,
+)
+
+TINY_TRAIN = dict(mixing_epochs=1, mixing_steps=64, distill_epochs=2, dataset_size=64, eval_samples=8)
+TINY_VERIFY = dict(target_error=1.0, degree=2, max_partitions=64, reach_steps=2)
+
+#: The acceptance-criterion grid: pendulum x cartpole, trained + verified.
+#: 2 train stages + 12 evaluate cells + 2 verify jobs = 16 store cells.
+ACCEPTANCE_KWARGS = dict(
+    scenarios=["pendulum", "cartpole"],
+    perturbations=("none", "noise"),
+    samples=4,
+    train=True,
+    verify=True,
+    jobs=1,
+    seed=0,
+    train_overrides=TINY_TRAIN,
+    verify_overrides=TINY_VERIFY,
+)
+ACCEPTANCE_NUM_CELLS = 16
+
+#: Small evaluate-only grid for the subprocess SIGKILL scenario.
+KILL_KWARGS = dict(
+    scenarios=["pendulum"],
+    perturbations=("none", "noise"),
+    samples=4,
+    train=False,
+    verify=False,
+    seed=0,
+)
+KILL_NUM_CELLS = 4
+
+
+class WorkCounter:
+    """Counts actual executions of the three expensive stages."""
+
+    def __init__(self, monkeypatch):
+        self.trained = 0
+        self.evaluated = 0
+        self.verified = 0
+
+        import repro.verification.sweep as sweep_module
+
+        pipeline_run = CocktailPipeline.run
+        evaluate = matrix_module.evaluate_robustness
+        run_job = sweep_module.run_sweep_job
+
+        def counting_pipeline_run(pipeline, *args, **kwargs):
+            self.trained += 1
+            return pipeline_run(pipeline, *args, **kwargs)
+
+        def counting_evaluate(*args, **kwargs):
+            self.evaluated += 1
+            return evaluate(*args, **kwargs)
+
+        def counting_run_job(*args, **kwargs):
+            self.verified += 1
+            return run_job(*args, **kwargs)
+
+        monkeypatch.setattr(CocktailPipeline, "run", counting_pipeline_run)
+        monkeypatch.setattr(matrix_module, "evaluate_robustness", counting_evaluate)
+        monkeypatch.setattr(sweep_module, "run_sweep_job", counting_run_job)
+
+    @property
+    def total(self):
+        return self.trained + self.evaluated + self.verified
+
+
+@pytest.fixture(scope="module")
+def acceptance_reference(tmp_path_factory):
+    """The uninterrupted single-process run of the acceptance grid."""
+
+    root = tmp_path_factory.mktemp("faults-ref")
+    report = run_scenario_matrix(run_dir=root / "store", **ACCEPTANCE_KWARGS)
+    assert report.cells_computed == ACCEPTANCE_NUM_CELLS
+    return report.to_csv(root / "reference.csv").read_bytes()
+
+
+class SimulatedCrash(RuntimeError):
+    pass
+
+
+class TestInterruptedShardsResumeByteIdentically:
+    """PR acceptance: 4 shards, one crashed mid-run, resumed, merged."""
+
+    def test_crash_resume_merge_matches_single_process(
+        self, acceptance_reference, monkeypatch, tmp_path
+    ):
+        shard_dir = tmp_path / "store"
+        rows_seen = []
+
+        def bomb(row):
+            rows_seen.append(row)
+            if len(rows_seen) == 2:
+                raise SimulatedCrash("worker died after two cells")
+
+        counter = WorkCounter(monkeypatch)
+        with pytest.raises(SimulatedCrash):
+            run_scenario_matrix(
+                run_dir=shard_dir, shard="1/4", on_cell=bomb, **ACCEPTANCE_KWARGS
+            )
+        interrupted_work = counter.total
+        assert 0 < interrupted_work < ACCEPTANCE_NUM_CELLS
+
+        # Every shard reruns (the crashed one resumes; resume is the
+        # store-backed default).  Completed cells replay, missing ones run.
+        reports = [
+            run_scenario_matrix(run_dir=shard_dir, shard=ShardSpec(index, 4), **ACCEPTANCE_KWARGS)
+            for index in (1, 2, 3, 4)
+        ]
+        assert all(report.status == "ok" for report in reports)
+        # Globally each cell executed exactly once, crash included.
+        assert counter.total == ACCEPTANCE_NUM_CELLS
+        assert interrupted_work + sum(r.cells_computed for r in reports) == ACCEPTANCE_NUM_CELLS
+
+        merged = merge_matrix_run(shard_dir)
+        merged_bytes = merged.to_csv(tmp_path / "merged.csv").read_bytes()
+        assert merged_bytes == acceptance_reference, (
+            "a crashed-and-resumed 4-shard run must merge byte-identically "
+            "to the uninterrupted single-process CSV"
+        )
+
+    def test_on_cell_crash_loses_no_flushed_cell(self, monkeypatch, tmp_path):
+        shard_dir = tmp_path / "store"
+
+        def bomb(row):
+            raise SimulatedCrash("died on the first cell")
+
+        with pytest.raises(SimulatedCrash):
+            run_scenario_matrix(run_dir=shard_dir, shard="1/1", on_cell=bomb, **KILL_KWARGS)
+        # The crash hit *after* the first cell was flushed; no claim leaks.
+        store = RunStore(shard_dir)
+        assert len(store.entries(stage="evaluate")) == 1
+        claims = sorted((shard_dir / ".claims").glob("*.claim"))
+        assert claims == [], "on_cell fires after the claim is released"
+
+        counter = WorkCounter(monkeypatch)
+        report = run_scenario_matrix(run_dir=shard_dir, shard="1/1", **KILL_KWARGS)
+        assert counter.evaluated == KILL_NUM_CELLS - 1
+        assert report.cells_cached == 1
+
+
+def _killer_worker(run_dir, kill_on_call, lease):
+    """Subprocess body: SIGKILL itself mid-cell, claim still held."""
+
+    calls = {"n": 0}
+    real_evaluate = matrix_module.evaluate_robustness
+
+    def killing_evaluate(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == kill_on_call:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return real_evaluate(*args, **kwargs)
+
+    matrix_module.evaluate_robustness = killing_evaluate
+    run_scenario_matrix(run_dir=run_dir, shard="1/1", claim_lease=lease, **KILL_KWARGS)
+
+
+class TestSigkilledWorker:
+    LEASE = 0.2
+
+    def test_stale_claim_of_a_dead_worker_is_reclaimed(self, tmp_path):
+        shard_dir = tmp_path / "store"
+        reference = run_scenario_matrix(run_dir=tmp_path / "ref", **KILL_KWARGS)
+        reference_bytes = reference.to_csv(tmp_path / "reference.csv").read_bytes()
+
+        context = multiprocessing.get_context("fork")
+        worker = context.Process(target=_killer_worker, args=(shard_dir, 2, self.LEASE))
+        worker.start()
+        worker.join(60)
+        assert worker.exitcode == -signal.SIGKILL
+
+        # The worker died inside cell 2: cell 1 is published, cell 2's
+        # claim file survives its owner.
+        store = RunStore(shard_dir)
+        assert len(store.entries(stage="evaluate")) == 1
+        leaked = sorted((shard_dir / ".claims").glob("*.claim"))
+        assert len(leaked) == 1
+
+        time.sleep(2.5 * self.LEASE)  # let the orphaned lease expire
+        rescue = run_scenario_matrix(
+            run_dir=shard_dir, shard="1/1", claim_lease=self.LEASE, **KILL_KWARGS
+        )
+        assert rescue.cells_computed == KILL_NUM_CELLS - 1
+        assert rescue.cells_cached == 1
+        merged = merge_matrix_run(shard_dir)
+        assert merged.to_csv(tmp_path / "merged.csv").read_bytes() == reference_bytes
+
+    def test_fresh_foreign_claim_is_respected_until_it_expires(self, tmp_path):
+        """A live sibling's claim defers the cell; an expired one is stolen."""
+
+        shard_dir = tmp_path / "store"
+        store = RunStore(shard_dir)
+        spec, overrides = resolve_scenario("pendulum")
+        params = dict(spec.default_params)
+        params.update(overrides)
+        # The exact key the matrix builds for (pendulum, kappa1, none).
+        key = store.key(
+            "evaluate",
+            {
+                "system": spec.name,
+                "params": params,
+                "controller": {"kind": "analytic", "name": "kappa1"},
+                "perturbation": "none",
+                "samples": 4,
+                "fraction": 0.1,
+                "seed": 0,
+            },
+        )
+        ghost = store.claims(owner="ghost", lease_seconds=60.0)
+        assert ghost.acquire(key)
+
+        blocked = run_scenario_matrix(run_dir=shard_dir, shard="1/1", **KILL_KWARGS)
+        assert blocked.cells_computed == KILL_NUM_CELLS - 1
+        assert blocked.cells_skipped == 1
+        assert not store.contains(key), "a fresh foreign claim must not be stolen"
+
+        # Age the ghost's claim past any lease and rerun: now it is stolen.
+        stale = time.time() - 3600.0
+        os.utime(ghost.path(key), (stale, stale))
+        rescued = run_scenario_matrix(run_dir=shard_dir, shard="1/1", **KILL_KWARGS)
+        assert rescued.cells_computed == 1
+        assert rescued.cells_cached == KILL_NUM_CELLS - 1
+        assert store.contains(key)
+        assert not ghost.path(key).exists(), "the reclaimed claim is released after publish"
+
+
+class TestClaimBoard:
+    def _key(self, store, tag="x"):
+        return store.key("evaluate", {"probe": tag})
+
+    def test_exactly_one_acquirer_wins(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        key = self._key(store)
+        a = store.claims(owner="a")
+        b = store.claims(owner="b")
+        assert a.acquire(key)
+        assert not b.acquire(key)
+        assert a.holder(key)["owner"] == "a"
+        a.release(key)
+        assert b.acquire(key)
+        assert b.holder(key)["owner"] == "b"
+
+    def test_expired_lease_is_stolen_fresh_one_is_not(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        key = self._key(store)
+        dead = store.claims(owner="dead", lease_seconds=0.05)
+        live = store.claims(owner="live", lease_seconds=0.05)
+        assert dead.acquire(key)
+        assert not live.acquire(key), "a fresh claim is respected"
+        time.sleep(0.12)
+        assert live.is_stale(key)
+        assert live.acquire(key), "an expired claim is taken over"
+        assert live.holder(key)["owner"] == "live"
+
+    def test_hold_heartbeats_keep_the_lease_alive(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        key = self._key(store)
+        board = store.claims(owner="beater", lease_seconds=0.08)
+        rival = store.claims(owner="rival", lease_seconds=0.08)
+        assert board.acquire(key)
+        with board.hold(key):
+            time.sleep(0.3)  # several leases; the heartbeat keeps it fresh
+            assert not rival.is_stale(key)
+            assert not rival.acquire(key)
+        board.release(key)
+
+    def test_hold_accepts_a_list_of_keys(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        keys = [self._key(store, tag) for tag in ("a", "b")]
+        board = store.claims(owner="multi", lease_seconds=0.08)
+        for key in keys:
+            assert board.acquire(key)
+        with board.hold(keys):
+            time.sleep(0.2)
+            assert not any(board.is_stale(key) for key in keys)
+
+    def test_release_is_idempotent_and_heartbeat_tolerates_absence(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        key = self._key(store)
+        board = store.claims(owner="solo")
+        board.release(key)  # never acquired: no error
+        board.heartbeat(key)  # no claim file: no error
+        assert board.holder(key) is None
+        assert not board.is_stale(key)
+
+    def test_store_missing_lists_unpublished_keys(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        present = self._key(store, "present")
+        absent = self._key(store, "absent")
+        store.save(present, {"value": 1})
+        assert store.missing([present, absent]) == [absent]
+
+    def test_gc_sweeps_published_claims_and_tombstones(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        key = self._key(store)
+        board = store.claims(owner="gc")
+        assert board.acquire(key)
+        store.save(key, {"value": 1})  # published but never released
+        tombstone = board.path(key).with_name(board.path(key).name + ".stale-dead0000")
+        tombstone.write_text("{}")
+        incomplete, removed = store.gc()
+        assert not board.path(key).exists(), "gc drops claims whose result is published"
+        assert not tombstone.exists(), "gc drops leftover takeover tombstones"
+        assert store.contains(key), "gc never touches published entries"
+        unpublished = self._key(store, "inflight")
+        assert board.acquire(unpublished)
+        store.gc()
+        assert board.path(unpublished).exists(), "gc keeps claims for unpublished work"
+
+
+class TestShardPlanMatchesExecutor:
+    def test_acceptance_grid_cell_count(self):
+        cells = plan_matrix_cells(
+            ACCEPTANCE_KWARGS["scenarios"], perturbations=ACCEPTANCE_KWARGS["perturbations"]
+        )
+        # 12 evaluate + 2 verify cells; the 2 train stages are implicit
+        # (students are dependencies, not rows).
+        assert len(cells) == 14
+        assert sum(1 for cell in cells if cell.kind == "verify") == 2

@@ -31,6 +31,9 @@ DEFAULT_TESTS = (
     "tests/test_experiments_digest.py",
     "tests/test_experiments_store.py",
     "tests/test_matrix_resume.py",
+    "tests/test_matrix_shard.py",
+    "tests/test_matrix_shard_faults.py",
+    "tests/test_shard_properties.py",
 )
 
 
