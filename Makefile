@@ -5,8 +5,11 @@
 # line-coverage floor on src/repro/experiments via tools/check_coverage.py
 # (pytest-cov when installed, a stdlib settrace collector otherwise), with
 # the shard/claim/merge packs in its test list so the coverage floor spans
-# the distributed-coordination code too; `shard-smoke` runs a real 2-shard
+# the distributed-coordination code too, and enforces the same floor on
+# src/repro/telemetry via its test pack; `shard-smoke` runs a real 2-shard
 # matrix against one run directory and merges it back end-to-end;
+# `watch-smoke` runs two telemetry-emitting shards, then exercises
+# `runs watch --once` and `runs stats` against the shared event log;
 # `scenario-smoke` runs the fast train->evaluate->verify cell for every
 # registered scenario (also collected by `test` via the scenario_smoke
 # pytest marker); `bench` regenerates the paper's tables/figures at the
@@ -18,7 +21,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-cov shard-smoke scenario-smoke bench verify-bench train-bench lint
+.PHONY: test test-fast test-cov shard-smoke watch-smoke scenario-smoke bench verify-bench train-bench lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +31,9 @@ test-fast:
 
 test-cov:
 	$(PYTHON) tools/check_coverage.py --floor 80
+	$(PYTHON) tools/check_coverage.py --floor 80 --target src/repro/telemetry \
+		tests/test_telemetry_events.py tests/test_telemetry_emitter.py \
+		tests/test_telemetry_aggregate.py
 
 SHARD_SMOKE_DIR ?= runs/shard-smoke
 shard-smoke:
@@ -37,6 +43,16 @@ shard-smoke:
 	$(PYTHON) -m repro scenarios run --scenario pendulum --scenario cartpole \
 		--no-train --no-verify --samples 4 --run-dir $(SHARD_SMOKE_DIR) --shard 2/2
 	$(PYTHON) -m repro runs merge --run-dir $(SHARD_SMOKE_DIR) --csv $(SHARD_SMOKE_DIR)/matrix.csv
+
+WATCH_SMOKE_DIR ?= runs/watch-smoke
+watch-smoke:
+	rm -rf $(WATCH_SMOKE_DIR)
+	$(PYTHON) -m repro scenarios run --scenario pendulum --scenario cartpole \
+		--no-train --no-verify --samples 4 --run-dir $(WATCH_SMOKE_DIR) --shard 1/2
+	$(PYTHON) -m repro scenarios run --scenario pendulum --scenario cartpole \
+		--no-train --no-verify --samples 4 --run-dir $(WATCH_SMOKE_DIR) --shard 2/2
+	$(PYTHON) -m repro runs watch --run-dir $(WATCH_SMOKE_DIR) --once
+	$(PYTHON) -m repro runs stats --run-dir $(WATCH_SMOKE_DIR)
 
 scenario-smoke:
 	REPRO_SCALE=quick $(PYTHON) -m pytest -q -m scenario_smoke tests

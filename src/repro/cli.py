@@ -30,7 +30,10 @@ Five sub-commands cover the daily workflow of the reproduction:
 ``runs``
     Inspect a digest-keyed experiment run store (``runs list``, ``runs
     show DIGEST``), reassemble a sharded matrix run into the canonical
-    single-process CSV (``runs merge``) or collect garbage (``runs gc``).
+    single-process CSV (``runs merge``), collect garbage (``runs gc``),
+    follow a running fleet live from its typed event log (``runs watch``)
+    or aggregate cross-run statistics from one or more run directories
+    (``runs stats``; see ``docs/telemetry.md``).
 
 Every ``--system`` argument resolves through the scenario registry
 (:mod:`repro.scenarios`), so aliases and parameter-overridable variants
@@ -347,12 +350,23 @@ def build_parser() -> argparse.ArgumentParser:
         "status is 'resource-exhausted' and the remaining cells stay unclaimed for "
         "other shards (0 = unbounded)",
     )
+    run.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="do not append the typed event log under <run-dir>/events/ "
+        "(store-backed runs write it by default; see `repro runs watch`)",
+    )
 
     runs = subparsers.add_parser("runs", help="inspect or clean an experiment run store")
     runs_commands = runs.add_subparsers(dest="runs_command", required=True)
     runs_list = runs_commands.add_parser("list", help="list every complete store entry")
     runs_list.add_argument("--run-dir", type=Path, required=True)
     runs_list.add_argument("--stage", default=None, help="restrict to one stage (train/evaluate/verify)")
+    runs_list.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the entries as JSON with stable (sorted) key order, for scripts",
+    )
     runs_show = runs_commands.add_parser("show", help="print one entry's config and result")
     runs_show.add_argument("--run-dir", type=Path, required=True)
     runs_show.add_argument("digest", help="entry digest (any unambiguous prefix)")
@@ -372,6 +386,28 @@ def build_parser() -> argparse.ArgumentParser:
     runs_gc.add_argument("--stage", action="append", default=None,
                          help="also remove every complete entry of this stage (repeatable)")
     runs_gc.add_argument("--dry-run", action="store_true", help="report what would be removed")
+    runs_watch = runs_commands.add_parser(
+        "watch", help="follow a running matrix fleet live from its event log"
+    )
+    runs_watch.add_argument("--run-dir", type=Path, required=True,
+                            help="the run directory a store-backed `scenarios run` writes into")
+    runs_watch.add_argument("--once", action="store_true",
+                            help="print one snapshot frame and exit (for scripts and smoke tests)")
+    runs_watch.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                            help="seconds between frames (default 2)")
+    runs_watch.add_argument("--stale-after", type=float, default=15.0, metavar="SECONDS",
+                            help="seconds of event silence before an unfinished shard "
+                            "is flagged 'stale?' (default 15)")
+    runs_stats = runs_commands.add_parser(
+        "stats", help="aggregate cross-run fleet statistics from event logs"
+    )
+    runs_stats.add_argument("--run-dir", type=Path, action="append", required=True,
+                            help="a run directory with an events/ log; repeatable to "
+                            "aggregate across runs")
+    runs_stats.add_argument("--json", action="store_true",
+                            help="emit the full statistics as JSON with sorted keys")
+    runs_stats.add_argument("--stale-after", type=float, default=15.0, metavar="SECONDS",
+                            help="staleness window for the stale-shard diagnostic (default 15)")
 
     return parser
 
@@ -643,6 +679,7 @@ def _command_scenarios(args: argparse.Namespace) -> int:
         budget_scale=args.budget_scale,
         run_dir=args.run_dir,
         force=args.force,
+        telemetry=False if args.no_telemetry else None,
     )
     if args.shard_workers:
         from repro.scenarios import run_sharded_matrix
@@ -685,10 +722,95 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _runs_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.telemetry import EventTailer, fold_events, render_watch
+    from repro.telemetry.emitter import events_dir
+
+    root = events_dir(args.run_dir)
+    if not root.is_dir():
+        raise SystemExit(
+            f"no event log under {args.run_dir} (expected {root}); telemetry is written "
+            "by store-backed `scenarios run` -- pass the same --run-dir here"
+        )
+    tailer = EventTailer(args.run_dir)
+    state = fold_events(tailer.poll())
+    print(render_watch(state, stale_after=args.stale_after))
+    if args.once:
+        return 0
+    try:
+        while not state.all_finished:
+            time.sleep(args.interval)
+            state = fold_events(tailer.poll(), state=state)
+            print()
+            print(render_watch(state, stale_after=args.stale_after))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _runs_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import fleet_stats
+    from repro.telemetry.emitter import events_dir
+
+    run_dirs = list(args.run_dir)
+    missing = [str(run_dir) for run_dir in run_dirs if not events_dir(run_dir).is_dir()]
+    if missing:
+        raise SystemExit(
+            f"no event log under: {', '.join(missing)} (telemetry is written by "
+            "store-backed `scenarios run`)"
+        )
+    stats = fleet_stats(run_dirs, stale_after=args.stale_after)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    served = stats["cells_computed"] + stats["cells_cached"]
+    hit_rate = f"{100.0 * stats['cache_hit_rate']:.1f}%" if served else "-"
+    print(
+        f"{stats['runs']} run(s), {stats['shards']} shard(s), {stats['events']} event(s) | "
+        f"{'all finished' if stats['all_finished'] else 'running'}"
+    )
+    print(
+        f"cells: {stats['cells_computed']} computed, {stats['cells_cached']} cached "
+        f"(hit rate {hit_rate}), {stats['cells_stolen']} stolen"
+    )
+    for kind, summary in stats["cell_seconds_by_kind"].items():
+        print(
+            f"  {kind:10s} {summary['count']:4d} cell(s) | total {summary['total']:8.2f}s | "
+            f"mean {summary['mean']:7.3f}s | median {summary['median']:7.3f}s | "
+            f"max {summary['max']:7.3f}s"
+        )
+    for stage, seconds in stats["stage_seconds"].items():
+        print(f"  stage {stage:22s} {seconds:8.2f}s")
+    for name, row in stats["scenarios"].items():
+        pieces = []
+        if "verify_jobs" in row:
+            pieces.append(f"{row['verified']}/{row['verify_jobs']} verified")
+        if "mean_safe_rate" in row:
+            pieces.append(f"mean Sr {100.0 * row['mean_safe_rate']:.1f}%")
+        print(f"  {name:14s} {' | '.join(pieces)}")
+    for straggler in stats["stragglers"]:
+        print(
+            f"  straggler: {straggler['cell']} {straggler['scenario']}:{straggler['controller']} "
+            f"took {straggler['seconds']:.2f}s ({straggler['factor']:.1f}x its kind's median)"
+        )
+    if stats["stale_shards"]:
+        print(f"  stale shard(s): {', '.join(stats['stale_shards'])}")
+    return 0
+
+
 def _command_runs(args: argparse.Namespace) -> int:
     import json
 
     from repro.experiments import RunStore
+
+    if args.runs_command == "watch":
+        return _runs_watch(args)
+    if args.runs_command == "stats":
+        return _runs_stats(args)
 
     store = RunStore(args.run_dir)
     if args.runs_command != "gc" and not store.root.is_dir():
@@ -718,6 +840,9 @@ def _command_runs(args: argparse.Namespace) -> int:
 
     if args.runs_command == "list":
         entries = store.entries(stage=args.stage)
+        if args.json:
+            print(json.dumps(entries, indent=2, sort_keys=True))
+            return 0
         header = f"{'stage':10s} {'digest':18s} {'files':>5s} {'bytes':>10s} created"
         print(header)
         print("-" * len(header))

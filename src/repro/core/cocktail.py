@@ -52,6 +52,10 @@ class CocktailResult:
     #: it to stamp records with the full config and its canonical digest
     #: (see :func:`repro.utils.persistence.save_cocktail_result`).
     config: Optional[CocktailConfig] = None
+    #: Wall-clock seconds per pipeline stage (mixing, dataset, robust /
+    #: direct distillation).  Telemetry emits these as ``StageTiming``
+    #: events; they never enter persisted records, which stay timing-free.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     def controllers(self) -> Dict[str, Controller]:
         """All named controllers of Table I produced by this run."""
@@ -122,11 +126,25 @@ class CocktailPipeline:
     def run(self, include_direct_baseline: bool = True) -> CocktailResult:
         """Execute the full pipeline and return every controller of Table I."""
 
+        import time
+
         self._distillation_loggers: Dict[str, TrainingLogger] = {}
-        mixed = self.train_mixing()
-        dataset = self.collect_dataset(mixed)
-        student = self.distill(dataset, robust=True)
-        direct_student = self.distill(dataset, robust=False) if include_direct_baseline else None
+        stage_seconds: Dict[str, float] = {}
+
+        def timed(stage: str, fn):
+            start = time.perf_counter()
+            produced = fn()
+            stage_seconds[stage] = time.perf_counter() - start
+            return produced
+
+        mixed = timed("mixing", self.train_mixing)
+        dataset = timed("dataset", lambda: self.collect_dataset(mixed))
+        student = timed("robust_distillation", lambda: self.distill(dataset, robust=True))
+        direct_student = (
+            timed("direct_distillation", lambda: self.distill(dataset, robust=False))
+            if include_direct_baseline
+            else None
+        )
 
         loggers: Dict[str, TrainingLogger] = dict(self._distillation_loggers)
         if getattr(self, "_mixing_logger", None) is not None:
@@ -139,4 +157,5 @@ class CocktailPipeline:
             dataset=dataset,
             loggers=loggers,
             config=self.config,
+            stage_seconds=stage_seconds,
         )

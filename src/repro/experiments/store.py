@@ -82,6 +82,13 @@ class ClaimBoard:
     ``O_EXCL``.  Claims are *advisory*: the store's digest-keyed atomic
     publish stays the source of truth, so even a duplicated computation
     (e.g. two hosts with skewed clocks) is idempotent, merely wasted work.
+
+    For observability the board counts stale-lease ``takeovers`` and flags
+    whether the most recent successful :meth:`acquire` reaped a dead
+    worker's claim (:attr:`last_acquire_was_takeover` -- telemetry marks
+    the resulting steal as ``stale``); an optional ``observer`` callback
+    receives ``(action, key)`` for every ``"claim"``, ``"release"`` and
+    ``"stale-takeover"``.
     """
 
     def __init__(self, root: PathLike, owner: str, lease_seconds: float = DEFAULT_CLAIM_LEASE):
@@ -90,6 +97,21 @@ class ClaimBoard:
         self.lease_seconds = float(lease_seconds)
         #: Heartbeat period while :meth:`hold` runs; well inside the lease.
         self.heartbeat_seconds = max(0.02, self.lease_seconds / 4.0)
+        #: Stale claims this board reaped over its lifetime.
+        self.takeovers = 0
+        #: Optional ``(action, key)`` callback for claim-lifecycle events.
+        self.observer: Optional[Callable[[str, RunKey], None]] = None
+        self._last_acquire_was_takeover = False
+
+    @property
+    def last_acquire_was_takeover(self) -> bool:
+        """Whether the latest successful acquire displaced a stale claim."""
+
+        return self._last_acquire_was_takeover
+
+    def _notify(self, action: str, key: RunKey) -> None:
+        if self.observer is not None:
+            self.observer(action, key)
 
     def path(self, key: RunKey) -> Path:
         return self.root / f"{key.stage}-{key.digest}{_CLAIM_SUFFIX}"
@@ -120,6 +142,7 @@ class ClaimBoard:
 
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(key)
+        self._last_acquire_was_takeover = False
         payload = json.dumps(
             {"owner": self.owner, "pid": os.getpid(), "claimed_unix": time.time()}
         )
@@ -127,15 +150,16 @@ class ClaimBoard:
             try:
                 descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
-                if not self._reap_if_stale(path):
+                if not self._reap_if_stale(path, key):
                     return False
                 continue
             with os.fdopen(descriptor, "w") as handle:
                 handle.write(payload)
+            self._notify("claim", key)
             return True
         return False
 
-    def _reap_if_stale(self, path: Path) -> bool:
+    def _reap_if_stale(self, path: Path, key: Optional[RunKey] = None) -> bool:
         """Remove an abandoned claim file; True when the path is now free."""
 
         try:
@@ -150,10 +174,15 @@ class ClaimBoard:
         except OSError:
             return True
         tombstone.unlink(missing_ok=True)
+        self.takeovers += 1
+        self._last_acquire_was_takeover = True
+        if key is not None:
+            self._notify("stale-takeover", key)
         return True
 
     def release(self, key: RunKey) -> None:
         self.path(key).unlink(missing_ok=True)
+        self._notify("release", key)
 
     def heartbeat(self, key: RunKey) -> None:
         """Refresh the claim's lease (no-op if the claim is gone)."""

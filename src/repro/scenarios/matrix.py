@@ -44,6 +44,18 @@ remaining cells are simply left unclaimed for other shards.
 (``offline=True``: nothing may execute) and reassembles the rows in
 canonical order -- producing a CSV byte-identical to a single-process run,
 regardless of shard count, completion order or how often workers died.
+
+Telemetry
+---------
+Store-backed runs additionally append a typed event log under
+``<run_dir>/events/`` (see :mod:`repro.telemetry`): every counter
+increment in the report pairs with exactly one ``cell-finished`` /
+``cell-cached`` / ``cell-stolen`` event, plus run lifecycle, heartbeat,
+stage-timing and sweep-job events -- which is what ``repro runs watch``
+tails live and ``repro runs stats`` aggregates.  All wall-clock timings
+live *only* in that log; store entries and rows stay deterministic, so
+enabling telemetry cannot perturb the byte-identical CSV guarantee.
+Offline replays (the merge) execute nothing and therefore emit nothing.
 """
 
 from __future__ import annotations
@@ -59,6 +71,17 @@ from repro.core.cocktail import CocktailPipeline
 from repro.core.config import CocktailConfig
 from repro.metrics.robustness import evaluate_robustness
 from repro.scenarios.registry import list_scenarios, resolve_scenario
+from repro.telemetry.emitter import NullTelemetryEmitter, TelemetryEmitter
+from repro.telemetry.events import (
+    CellCached,
+    CellFinished,
+    CellStarted,
+    CellStolen,
+    RunFinished,
+    RunStarted,
+    StageTiming,
+    SweepJobFinished,
+)
 from repro.utils.seeding import set_global_seed
 
 #: Non-deterministic keys stripped from store-backed verification rows.
@@ -459,6 +482,7 @@ class _MatrixExecution:
                 ctx.student = NeuralController(network, name="kappa_star")
                 self.store.hits += 1
                 self.report.cells_cached += 1
+                self.tele.emit(CellCached, scenario=ctx.name, controller="kappa_star", cell="train")
                 self.say(f"[{ctx.name}] kappa_star restored from the run store")
                 return True
             if self.offline:
@@ -474,6 +498,10 @@ class _MatrixExecution:
                         continue  # published while we acquired; restore above
                     hold = self.claims.hold(key) if self.claims is not None else _null_context()
                     with hold:
+                        self.tele.emit(
+                            CellStarted, scenario=ctx.name, controller="kappa_star", cell="train"
+                        )
+                        train_start = time.perf_counter()
                         result = self._train_student(ctx, config, hints)
                         self.store.save(
                             key,
@@ -485,6 +513,17 @@ class _MatrixExecution:
                         )
                     self.store.misses += 1
                     self.report.cells_computed += 1
+                    for stage, stage_secs in result.stage_seconds.items():
+                        self.tele.emit(
+                            StageTiming, scenario=ctx.name, stage=stage, seconds=stage_secs
+                        )
+                    self.tele.emit(
+                        CellFinished,
+                        scenario=ctx.name,
+                        controller="kappa_star",
+                        cell="train",
+                        seconds=time.perf_counter() - train_start,
+                    )
                     ctx.student = result.student
                     return True
                 finally:
@@ -503,8 +542,16 @@ class _MatrixExecution:
 
         controller = self._controller(ctx, controller_name)
         cell_start = time.perf_counter()
+        identity = {
+            "scenario": ctx.name,
+            "controller": controller_name,
+            "cell": "evaluate",
+            "perturbation": perturbation,
+        }
 
         def compute_cell():
+            self.tele.emit(CellStarted, **identity)
+            compute_start = time.perf_counter()
             outcome = evaluate_robustness(
                 ctx.system,
                 controller,
@@ -512,6 +559,12 @@ class _MatrixExecution:
                 fraction=self.fraction,
                 samples=self.samples,
                 rng=self.seed,
+            )
+            self.tele.emit(
+                CellFinished,
+                seconds=time.perf_counter() - compute_start,
+                safe_rate=outcome.safe_rate,
+                **identity,
             )
             return {
                 "safe_rate": outcome.safe_rate,
@@ -544,7 +597,7 @@ class _MatrixExecution:
             elif self.claims is not None:
                 if stolen and self.reuse and self.store.contains(key):
                     return True  # already finished elsewhere; nothing to steal
-                payload = self._claimed_evaluate(key, compute_cell, stolen)
+                payload = self._claimed_evaluate(key, compute_cell, stolen, identity)
                 if payload is None:
                     return False
             else:
@@ -552,6 +605,7 @@ class _MatrixExecution:
                 payload = self.store.get_or_run(key, compute_cell, force=not self.reuse)
                 if self.store.hits > hits_before:
                     self.report.cells_cached += 1
+                    self.tele.emit(CellCached, **identity)
                 else:
                     self.report.cells_computed += 1
         else:
@@ -571,21 +625,26 @@ class _MatrixExecution:
         self.emit(row)
         return True
 
-    def _claimed_evaluate(self, key, compute_cell: Callable, stolen: bool) -> Optional[Dict]:
+    def _claimed_evaluate(
+        self, key, compute_cell: Callable, stolen: bool, identity: Dict
+    ) -> Optional[Dict]:
         """Claim-guarded execution of one evaluation cell (sharded runs)."""
 
         if self.reuse and self.store.contains(key):
             self.store.hits += 1
             self.report.cells_cached += 1
+            self.tele.emit(CellCached, **identity)
             return self.store.load_result(key)
         if not self.claims.acquire(key):
             if not stolen:  # an owned cell left to a live claimant
                 self.report.cells_skipped += 1
             return None
+        stale_takeover = self.claims.last_acquire_was_takeover
         try:
             if self.reuse and self.store.contains(key):  # published while acquiring
                 self.store.hits += 1
                 self.report.cells_cached += 1
+                self.tele.emit(CellCached, **identity)
                 return self.store.load_result(key)
             with self.claims.hold(key):
                 self.store.save(key, compute_cell())
@@ -593,6 +652,7 @@ class _MatrixExecution:
             self.report.cells_computed += 1
             if stolen:
                 self.report.cells_stolen += 1
+                self.tele.emit(CellStolen, stale=stale_takeover, **identity)
             return self.store.load_result(key)
         finally:
             self.claims.release(key)
@@ -651,6 +711,28 @@ class _MatrixExecution:
             self.say(
                 f"verifying {len(jobs)} student(s) across {max(1, self.jobs)} process(es)"
             )
+        ctx_by_job = {id(job): ctx for ctx, job in zip(ctxs, jobs)}
+
+        def on_job_start(job) -> None:
+            # Fires in this process, right before the job enters execution.
+            self.tele.emit(
+                CellStarted,
+                scenario=ctx_by_job[id(job)].name,
+                controller="kappa_star",
+                cell="verify",
+            )
+
+        def on_job_result(job, result) -> None:
+            self.tele.emit(
+                SweepJobFinished,
+                job=job.name,
+                system=job.system,
+                status=result.status,
+                seconds=result.elapsed_seconds,
+                cached=result.cached,
+                verified=result.verified,
+            )
+
         sweep = VerificationSweep(
             jobs,
             processes=self.jobs or None,
@@ -658,6 +740,8 @@ class _MatrixExecution:
             store=self.store,
             force=not self.reuse,
             claims=self.claims,
+            on_start=on_job_start,
+            on_result=on_job_result,
         )
         sweep_report = sweep.run()
         for ctx, result in zip(ctxs, sweep_report.results):
@@ -688,13 +772,48 @@ class _MatrixExecution:
             self.report.rows.append(row)
             if result.cached:
                 self.report.cells_cached += 1
+                self.tele.emit(
+                    CellCached, scenario=ctx.name, controller="kappa_star", cell="verify"
+                )
+                self.tele.emit(
+                    SweepJobFinished,
+                    job=result.name,
+                    system=result.system,
+                    status=result.status,
+                    seconds=result.elapsed_seconds,
+                    cached=True,
+                    verified=result.verified,
+                )
             elif self.store is not None:
                 self.report.cells_computed += 1
+                self.tele.emit(
+                    CellFinished,
+                    scenario=ctx.name,
+                    controller="kappa_star",
+                    cell="verify",
+                    seconds=result.elapsed_seconds,
+                    status=result.status,
+                )
                 if stolen:
                     self.report.cells_stolen += 1
+                    self.tele.emit(
+                        CellStolen, scenario=ctx.name, controller="kappa_star", cell="verify"
+                    )
             self.emit(row)
 
     # -- main flow -----------------------------------------------------
+    def _telemetry_counters(self) -> Dict[str, int]:
+        """Heartbeat payload: the report's counters (read-only snapshot)."""
+
+        report = self.report
+        return {
+            "cells_done": report.cells_computed + report.cells_cached,
+            "cells_computed": report.cells_computed,
+            "cells_cached": report.cells_cached,
+            "cells_stolen": report.cells_stolen,
+            "cells_skipped": report.cells_skipped,
+        }
+
     def run(self) -> ScenarioMatrixReport:
         contexts = self._contexts()
         by_name = {ctx.name: ctx for ctx in contexts}
@@ -708,6 +827,37 @@ class _MatrixExecution:
             for position, cell in enumerate(cells)
             if self.shard is None or self.shard.owns(position)
         ]
+        self.tele.emit(
+            RunStarted,
+            scenarios=tuple(self.names),
+            cells_total=len(cells),
+            cells_owned=len(owned),
+            pid=os.getpid(),
+        )
+        with self.tele.heartbeats(self._telemetry_counters):
+            self._execute(contexts, by_name, cells, owned)
+
+        if self.offline and self.missing:
+            raise MatrixIncompleteError(self.missing)
+
+        self.report.elapsed_seconds = time.perf_counter() - self.start
+        self.tele.emit(
+            RunFinished,
+            status=self.report.status,
+            cells_computed=self.report.cells_computed,
+            cells_cached=self.report.cells_cached,
+            cells_stolen=self.report.cells_stolen,
+            cells_skipped=self.report.cells_skipped,
+            rows=len(self.report.rows),
+            seconds=self.report.elapsed_seconds,
+        )
+        if self.shard is not None:
+            self._write_shard_summary()
+        return self.report
+
+    def _execute(self, contexts, by_name, cells, owned) -> None:
+        """Evaluate, verify and steal -- the body between lifecycle events."""
+
         owned_eval = [(p, c) for p, c in owned if c.kind == "evaluate"]
         owned_verify = [(p, c) for p, c in owned if c.kind == "verify"]
 
@@ -747,14 +897,6 @@ class _MatrixExecution:
 
         if self.shard is not None and self.steal and not self.force:
             self._steal(contexts, by_name, cells)
-
-        if self.offline and self.missing:
-            raise MatrixIncompleteError(self.missing)
-
-        self.report.elapsed_seconds = time.perf_counter() - self.start
-        if self.shard is not None:
-            self._write_shard_summary()
-        return self.report
 
     def _has_row(self, cell: MatrixCell) -> bool:
         return any(
@@ -875,6 +1017,7 @@ def run_scenario_matrix(
     claim_lease: Optional[float] = None,
     shard_time_budget: Optional[float] = None,
     offline: bool = False,
+    telemetry: Optional[bool] = None,
 ) -> ScenarioMatrixReport:
     """Run the ``(scenario x controller x perturbation)`` matrix.
 
@@ -919,6 +1062,14 @@ def run_scenario_matrix(
     primitive: the reassembled rows are byte-identical to a single-process
     run's because both paths serialise the same store entries in the same
     canonical order.
+
+    ``telemetry`` controls the typed event log under ``<run_dir>/events/``
+    (see :mod:`repro.telemetry`).  The default (``None``) turns it on for
+    every store-backed executing run and off otherwise; ``False`` disables
+    it explicitly, and ``True`` without a store (or with ``offline=True``,
+    which executes nothing) is an error.  The log never influences rows,
+    store entries or CSVs -- it is written beside them for ``repro runs
+    watch`` / ``repro runs stats``.
     """
 
     names = list(scenarios) if scenarios is not None else list_scenarios()
@@ -936,6 +1087,13 @@ def run_scenario_matrix(
         raise ValueError("offline replay needs a run store (pass store= or run_dir=)")
     if offline and (force or shard is not None):
         raise ValueError("offline replay cannot be combined with force= or shard=")
+    if telemetry is None:
+        telemetry = store is not None and not offline
+    elif telemetry:
+        if store is None:
+            raise ValueError("telemetry needs a run store (pass store= or run_dir=)")
+        if offline:
+            raise ValueError("offline replay executes nothing; there is no telemetry to record")
 
     claims = None
     if shard is not None:
@@ -960,6 +1118,12 @@ def run_scenario_matrix(
             ),
         )
 
+    if telemetry:
+        source = "main" if shard is None else f"shard-{shard.index}-of-{shard.count}"
+        tele = TelemetryEmitter(store.root, source=source)
+    else:
+        tele = NullTelemetryEmitter()
+
     execution = _MatrixExecution(
         names=names,
         perturbations=perturbations,
@@ -983,8 +1147,12 @@ def run_scenario_matrix(
         claims=claims,
         shard_time_budget=shard_time_budget,
         offline=offline,
+        tele=tele,
     )
-    return execution.run()
+    try:
+        return execution.run()
+    finally:
+        tele.close()
 
 
 def matrix_manifest(

@@ -1,0 +1,444 @@
+"""Versioned, typed run-telemetry events.
+
+Every message the telemetry stream carries is one validated dataclass --
+the ``named_types`` idiom: the class *is* the schema.  Each event declares
+a wire name (``TYPE``), a ``SCHEMA_VERSION``, and typed fields that are
+checked on construction, so a malformed event fails loudly at the emitter
+instead of silently corrupting a log that a live ``repro runs watch`` or a
+cross-run ``repro runs stats`` aggregation reads later.
+
+Wire format
+-----------
+One JSON object per event::
+
+    {"type": "cell-finished", "version": 1, "ts": ..., "shard": "main", ...}
+
+``to_json``/``from_json`` round-trip exactly (tuples survive the JSON list
+round-trip), and :func:`parse_event` is *forward tolerant*: a payload whose
+``version`` is newer than this reader's class is decoded best-effort from
+the fields it knows (unknown extra fields are ignored), and a payload whose
+type is unknown altogether comes back as an :class:`UnknownEvent` instead
+of an exception -- an old ``watch`` client keeps working against a newer
+fleet.  Within the *same* version the contract is strict: missing or
+mistyped fields raise :class:`EventValidationError`.
+
+Versioning policy (see ``docs/telemetry.md``): adding an *optional* field
+keeps the version; adding a required field, renaming or retyping anything
+bumps ``SCHEMA_VERSION``.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+from dataclasses import MISSING, dataclass, field, fields
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type
+
+__all__ = [
+    "EventValidationError",
+    "TelemetryEvent",
+    "UnknownEvent",
+    "RunStarted",
+    "CellStarted",
+    "CellFinished",
+    "CellCached",
+    "CellStolen",
+    "ShardHeartbeat",
+    "SweepJobFinished",
+    "StageTiming",
+    "RunFinished",
+    "EVENT_REGISTRY",
+    "register_event",
+    "parse_event",
+    "decode_line",
+]
+
+#: The cell kinds the matrix runner produces (one per pipeline stage).
+CELL_KINDS = ("train", "evaluate", "verify")
+
+
+class EventValidationError(ValueError):
+    """A telemetry event payload failed its class's field validation."""
+
+
+#: Wire ``type`` name -> event class, populated by :func:`register_event`.
+EVENT_REGISTRY: Dict[str, Type["TelemetryEvent"]] = {}
+
+
+def register_event(cls: Type["TelemetryEvent"]) -> Type["TelemetryEvent"]:
+    """Class decorator adding ``cls`` to :data:`EVENT_REGISTRY` by ``TYPE``."""
+
+    if not cls.TYPE:
+        raise ValueError(f"{cls.__name__} declares no TYPE wire name")
+    if cls.TYPE in EVENT_REGISTRY:
+        raise ValueError(f"duplicate event type {cls.TYPE!r}")
+    EVENT_REGISTRY[cls.TYPE] = cls
+    return cls
+
+
+_HINT_CACHE: Dict[type, Dict[str, Any]] = {}
+
+
+def _type_hints(cls: type) -> Dict[str, Any]:
+    if cls not in _HINT_CACHE:
+        _HINT_CACHE[cls] = typing.get_type_hints(cls)
+    return _HINT_CACHE[cls]
+
+
+def _checked(cls_name: str, name: str, value, annotation):
+    """Validate ``value`` against ``annotation``; ints promote to floats."""
+
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union:
+        arms = typing.get_args(annotation)
+        if value is None and type(None) in arms:
+            return None
+        inner = [arm for arm in arms if arm is not type(None)]
+        return _checked(cls_name, name, value, inner[0])
+    if annotation is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise EventValidationError(f"{cls_name}.{name} must be a number, got {value!r}")
+        return float(value)
+    if annotation is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise EventValidationError(f"{cls_name}.{name} must be an integer, got {value!r}")
+        return value
+    if annotation is bool:
+        if not isinstance(value, bool):
+            raise EventValidationError(f"{cls_name}.{name} must be a boolean, got {value!r}")
+        return value
+    if annotation is str:
+        if not isinstance(value, str):
+            raise EventValidationError(f"{cls_name}.{name} must be a string, got {value!r}")
+        return value
+    if origin in (tuple, Tuple):
+        if isinstance(value, str) or not isinstance(value, (list, tuple)):
+            raise EventValidationError(f"{cls_name}.{name} must be a sequence, got {value!r}")
+        item_type = typing.get_args(annotation)[0]
+        return tuple(_checked(cls_name, name, item, item_type) for item in value)
+    return value  # Dict / Any fields (UnknownEvent payload) pass through
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base event: a timestamp plus the emitting source ("shard") label.
+
+    ``ts`` is unix seconds stamped by the emitter; ``shard`` names the
+    event-log file the line lives in (``"main"``, ``"shard-2-of-4"``, ...),
+    which is how the reader attributes liveness per worker.
+    """
+
+    ts: float
+    shard: str
+
+    TYPE: ClassVar[str] = ""
+    SCHEMA_VERSION: ClassVar[int] = 1
+
+    def __post_init__(self) -> None:
+        hints = _type_hints(type(self))
+        for spec in fields(self):
+            value = _checked(type(self).__name__, spec.name, getattr(self, spec.name), hints[spec.name])
+            object.__setattr__(self, spec.name, value)
+        self._validate()
+
+    def _validate(self) -> None:
+        """Per-class semantic checks (field types are already enforced)."""
+
+    def to_json(self) -> Dict:
+        """The wire payload: ``type`` and ``version`` first, fields in order."""
+
+        payload: Dict = {"type": self.TYPE, "version": self.SCHEMA_VERSION}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            payload[spec.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    def to_line(self) -> str:
+        """One compact JSON line (no newline); the event-log unit of append."""
+
+        return json.dumps(self.to_json(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, payload: Mapping, strict: bool = True) -> "TelemetryEvent":
+        """Rebuild an event from its wire payload.
+
+        ``strict`` (same-version reads) rejects unexpected keys; the
+        tolerant mode (newer-version reads) ignores them and falls back to
+        field defaults, so old readers survive additive schema growth.
+        """
+
+        known = {spec.name for spec in fields(cls)}
+        if strict:
+            extras = set(payload) - known - {"type", "version"}
+            if extras:
+                raise EventValidationError(
+                    f"{cls.TYPE} v{cls.SCHEMA_VERSION}: unexpected field(s) {sorted(extras)}"
+                )
+        kwargs = {}
+        for spec in fields(cls):
+            if spec.name in payload:
+                kwargs[spec.name] = payload[spec.name]
+            elif spec.default is MISSING and spec.default_factory is MISSING:
+                raise EventValidationError(f"{cls.TYPE}: missing required field {spec.name!r}")
+        return cls(**kwargs)
+
+
+def _require_counts(event: TelemetryEvent, *names: str) -> None:
+    for name in names:
+        if getattr(event, name) < 0:
+            raise EventValidationError(f"{type(event).__name__}.{name} must be >= 0")
+
+
+def _require_cell_kind(event: TelemetryEvent) -> None:
+    if event.cell not in CELL_KINDS:
+        raise EventValidationError(
+            f"{type(event).__name__}.cell must be one of {CELL_KINDS}, got {event.cell!r}"
+        )
+
+
+@register_event
+@dataclass(frozen=True)
+class RunStarted(TelemetryEvent):
+    """A matrix runner (one shard or the sole process) began executing."""
+
+    TYPE: ClassVar[str] = "run-started"
+    scenarios: Tuple[str, ...] = ()
+    cells_total: int = 0
+    cells_owned: int = 0
+    pid: int = 0
+
+    def _validate(self) -> None:
+        _require_counts(self, "cells_total", "cells_owned", "pid")
+        if self.cells_owned > self.cells_total:
+            raise EventValidationError("RunStarted.cells_owned cannot exceed cells_total")
+
+
+@register_event
+@dataclass(frozen=True)
+class CellStarted(TelemetryEvent):
+    """One matrix cell began *computing* (cache probes emit no start)."""
+
+    TYPE: ClassVar[str] = "cell-started"
+    scenario: str = ""
+    controller: str = ""
+    cell: str = "evaluate"
+    perturbation: Optional[str] = None
+
+    def _validate(self) -> None:
+        _require_cell_kind(self)
+
+
+@register_event
+@dataclass(frozen=True)
+class CellFinished(TelemetryEvent):
+    """One matrix cell finished computing; wall-clock timings live here.
+
+    ``seconds`` is deliberately *only* in the event log -- never in run-store
+    rows -- which is what keeps merged CSVs byte-identical across reruns.
+    """
+
+    TYPE: ClassVar[str] = "cell-finished"
+    scenario: str = ""
+    controller: str = ""
+    cell: str = "evaluate"
+    perturbation: Optional[str] = None
+    seconds: float = 0.0
+    status: str = "ok"
+    safe_rate: Optional[float] = None
+
+    def _validate(self) -> None:
+        _require_cell_kind(self)
+        if self.seconds < 0:
+            raise EventValidationError("CellFinished.seconds must be >= 0")
+        if self.safe_rate is not None and not 0.0 <= self.safe_rate <= 1.0:
+            raise EventValidationError("CellFinished.safe_rate must be within [0, 1]")
+
+
+@register_event
+@dataclass(frozen=True)
+class CellCached(TelemetryEvent):
+    """One matrix cell was answered from the run store instead of computed."""
+
+    TYPE: ClassVar[str] = "cell-cached"
+    scenario: str = ""
+    controller: str = ""
+    cell: str = "evaluate"
+    perturbation: Optional[str] = None
+
+    def _validate(self) -> None:
+        _require_cell_kind(self)
+
+
+@register_event
+@dataclass(frozen=True)
+class CellStolen(TelemetryEvent):
+    """A shard computed a cell owned by another shard (work-stealing).
+
+    ``stale`` marks a stale-lease takeover: the owning worker's claim had
+    stopped heartbeating (it died) and this shard reaped it.
+    """
+
+    TYPE: ClassVar[str] = "cell-stolen"
+    scenario: str = ""
+    controller: str = ""
+    cell: str = "evaluate"
+    perturbation: Optional[str] = None
+    stale: bool = False
+
+    def _validate(self) -> None:
+        _require_cell_kind(self)
+
+
+@register_event
+@dataclass(frozen=True)
+class ShardHeartbeat(TelemetryEvent):
+    """Periodic liveness beacon with the shard's running accounting."""
+
+    TYPE: ClassVar[str] = "shard-heartbeat"
+    cells_done: int = 0
+    cells_computed: int = 0
+    cells_cached: int = 0
+    cells_stolen: int = 0
+    cells_skipped: int = 0
+
+    def _validate(self) -> None:
+        _require_counts(
+            self, "cells_done", "cells_computed", "cells_cached", "cells_stolen", "cells_skipped"
+        )
+
+
+@register_event
+@dataclass(frozen=True)
+class SweepJobFinished(TelemetryEvent):
+    """One :class:`~repro.verification.sweep.VerificationSweep` job completed."""
+
+    TYPE: ClassVar[str] = "sweep-job-finished"
+    job: str = ""
+    system: str = ""
+    status: str = "ok"
+    seconds: float = 0.0
+    cached: bool = False
+    verified: bool = False
+
+    def _validate(self) -> None:
+        if self.seconds < 0:
+            raise EventValidationError("SweepJobFinished.seconds must be >= 0")
+
+
+@register_event
+@dataclass(frozen=True)
+class StageTiming(TelemetryEvent):
+    """Wall-clock seconds of one training-pipeline stage (mixing, ...)."""
+
+    TYPE: ClassVar[str] = "stage-timing"
+    scenario: str = ""
+    stage: str = ""
+    seconds: float = 0.0
+
+    def _validate(self) -> None:
+        if not self.stage:
+            raise EventValidationError("StageTiming.stage must be non-empty")
+        if self.seconds < 0:
+            raise EventValidationError("StageTiming.seconds must be >= 0")
+
+
+@register_event
+@dataclass(frozen=True)
+class RunFinished(TelemetryEvent):
+    """A matrix runner finished; final accounting mirrors its report."""
+
+    TYPE: ClassVar[str] = "run-finished"
+    status: str = "ok"
+    cells_computed: int = 0
+    cells_cached: int = 0
+    cells_stolen: int = 0
+    cells_skipped: int = 0
+    rows: int = 0
+    seconds: float = 0.0
+
+    def _validate(self) -> None:
+        _require_counts(self, "cells_computed", "cells_cached", "cells_stolen", "cells_skipped", "rows")
+        if self.seconds < 0:
+            raise EventValidationError("RunFinished.seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class UnknownEvent(TelemetryEvent):
+    """A payload this reader cannot type (foreign type or future schema).
+
+    Deliberately *not* registered: it preserves the raw payload plus the
+    best-effort ``ts``/``shard`` so multiplexed time-ordering still works,
+    and aggregation simply skips it.
+    """
+
+    TYPE: ClassVar[str] = "unknown"
+    type_name: str = ""
+    version: int = 0
+    payload: Dict = field(default_factory=dict)
+
+    @classmethod
+    def wrap(cls, payload: Mapping) -> "UnknownEvent":
+        ts = payload.get("ts")
+        shard = payload.get("shard")
+        version = payload.get("version")
+        return cls(
+            ts=float(ts) if isinstance(ts, (int, float)) and not isinstance(ts, bool) else 0.0,
+            shard=shard if isinstance(shard, str) else "",
+            type_name=str(payload.get("type", "")),
+            version=version if isinstance(version, int) and not isinstance(version, bool) else 0,
+            payload=dict(payload),
+        )
+
+
+def parse_event(payload: Mapping) -> TelemetryEvent:
+    """Decode one wire payload into its typed event.
+
+    Routing is by the payload's ``type``/``version``: a registered type at
+    (or below) this reader's ``SCHEMA_VERSION`` decodes strictly, a *newer*
+    version decodes tolerantly from the known fields, and anything else --
+    unknown type, unreadable version, a newer payload missing even the
+    known required fields -- wraps as :class:`UnknownEvent`.  Only a
+    same-version malformed payload raises :class:`EventValidationError`.
+    """
+
+    if not isinstance(payload, Mapping):
+        raise EventValidationError(f"event payload must be an object, got {type(payload).__name__}")
+    version = payload.get("version")
+    cls = EVENT_REGISTRY.get(payload.get("type"))
+    if cls is None or not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        return UnknownEvent.wrap(payload)
+    if version > cls.SCHEMA_VERSION:
+        try:
+            return cls.from_json(payload, strict=False)
+        except EventValidationError:
+            return UnknownEvent.wrap(payload)
+    return cls.from_json(payload)
+
+
+def decode_line(line) -> Optional[TelemetryEvent]:
+    """Robust file-side decode of one log line; ``None`` for non-events.
+
+    Torn or truncated lines (a worker died mid-append) and non-JSON debris
+    return ``None``; structurally valid JSON that fails typing comes back
+    as :class:`UnknownEvent` -- a live tailer must never crash on one bad
+    line.
+    """
+
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    try:
+        return parse_event(payload)
+    except EventValidationError:
+        return UnknownEvent.wrap(payload)

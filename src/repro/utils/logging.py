@@ -2,22 +2,42 @@
 
 Training loops (PPO, DDPG, distillation) record scalar metrics per epoch;
 the logger keeps them in memory for inspection by tests and optionally echoes
-progress lines, which the examples enable and the tests keep silent.
+progress lines, which the examples enable and the tests keep silent.  An
+optional ``sink`` callback additionally forwards every logged epoch to an
+external consumer -- the hook the telemetry stream uses to observe training
+progress live -- without changing the print/history behavior at all.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
+
+#: Signature of a logger sink: ``(logger_name, epoch, metrics)``.
+LogSink = Callable[[str, int, Dict[str, float]], None]
 
 
 class TrainingLogger:
-    """Collects scalar training metrics keyed by name."""
+    """Collects scalar training metrics keyed by name.
 
-    def __init__(self, name: str = "training", verbose: bool = False, print_every: int = 10):
+    ``sink``, when given, is invoked after every :meth:`log` with
+    ``(name, epoch, metrics)`` -- the metrics already coerced to floats.
+    A sink is an observer only: it cannot alter the recorded history, and
+    an exception it raises propagates (a broken telemetry sink should fail
+    loudly in the training loop that installed it).
+    """
+
+    def __init__(
+        self,
+        name: str = "training",
+        verbose: bool = False,
+        print_every: int = 10,
+        sink: Optional[LogSink] = None,
+    ):
         self.name = name
         self.verbose = verbose
         self.print_every = max(1, int(print_every))
+        self.sink = sink
         self.history: Dict[str, List[float]] = defaultdict(list)
         self._epoch = 0
 
@@ -25,11 +45,14 @@ class TrainingLogger:
         """Record one epoch worth of scalar metrics."""
 
         self._epoch += 1
-        for key, value in metrics.items():
-            self.history[key].append(float(value))
+        recorded = {key: float(value) for key, value in metrics.items()}
+        for key, value in recorded.items():
+            self.history[key].append(value)
         if self.verbose and self._epoch % self.print_every == 0:
-            rendered = ", ".join(f"{key}={float(value):.4g}" for key, value in metrics.items())
+            rendered = ", ".join(f"{key}={value:.4g}" for key, value in recorded.items())
             print(f"[{self.name}] epoch {self._epoch}: {rendered}")
+        if self.sink is not None:
+            self.sink(self.name, self._epoch, recorded)
 
     def last(self, key: str, default: Optional[float] = None) -> Optional[float]:
         values = self.history.get(key)

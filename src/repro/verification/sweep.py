@@ -86,6 +86,23 @@ class SweepJob:
         network.load_state_dict(self.weights)
         return network
 
+    def describe(self) -> str:
+        """The job's originating spec, for error messages and telemetry.
+
+        Worker tracebacks alone do not say *which* job died; every sweep
+        error embeds this one-line identity (system, controller name and
+        the analysis budgets) so a failed cell in a thousand-cell fleet is
+        attributable without re-running anything.
+        """
+
+        budgets = (
+            f"target_error={self.target_error}, degree={self.degree}, "
+            f"max_partitions={self.max_partitions}, reach_steps={self.reach_steps}, "
+            f"reach_box_scale={self.reach_box_scale}, work_budget={self.work_budget}, "
+            f"invariant_grid={self.invariant_grid}, time_budget_seconds={self.time_budget_seconds}"
+        )
+        return f"job {self.name}: system={self.system}, {budgets}"
+
     def cache_config(self, engine: str) -> Dict:
         """The job's resolved identity for run-store caching.
 
@@ -258,7 +275,7 @@ def run_sweep_job(job: SweepJob, engine: str = "batched") -> SweepJobResult:
             name=job.name,
             system=job.system,
             status="error",
-            error=f"{type(error).__name__}: {error}",
+            error=f"{type(error).__name__}: {error} [{job.describe()}]",
             elapsed_seconds=time.perf_counter() - start,
         )
 
@@ -295,6 +312,13 @@ class VerificationSweep:
     ``status='skipped'`` instead of executing twice.  Skipped jobs are not
     failures -- the claimant publishes (or its claim goes stale and a later
     sweep takes over).
+
+    ``on_start``/``on_result`` are the telemetry seams: ``on_start(job)``
+    fires for every job handed to execution (after cache probes and claim
+    acquisition), and ``on_result(job, result)`` fires per executed job as
+    its result streams back from the pool -- live, not after the barrier --
+    so a watch client sees jobs complete one by one.  Neither fires for
+    cached or skipped jobs; the caller observes those synchronously.
     """
 
     def __init__(
@@ -305,6 +329,8 @@ class VerificationSweep:
         store=None,
         force: bool = False,
         claims=None,
+        on_start=None,
+        on_result=None,
     ):
         self.jobs = list(jobs)
         if processes is None:
@@ -318,6 +344,8 @@ class VerificationSweep:
             raise ValueError("claim-coordinated sweeps need a run store")
         self.claims = claims
         self.force = bool(force)
+        self.on_start = on_start
+        self.on_result = on_result
 
     def _load_cached(self, key, job: SweepJob) -> SweepJobResult:
         payload = self.store.load_result(key)
@@ -417,17 +445,28 @@ class VerificationSweep:
                     else contextlib.nullcontext()
                 )
                 with hold:
+                    if self.on_start is not None:
+                        for index in pending:
+                            self.on_start(self.jobs[index])
+                    fresh: List[SweepJobResult] = []
                     if self.processes <= 1 or len(pending) == 1:
-                        fresh = [
-                            run_sweep_job(self.jobs[index], engine=self.engine) for index in pending
-                        ]
+                        for index in pending:
+                            result = run_sweep_job(self.jobs[index], engine=self.engine)
+                            if self.on_result is not None:
+                                self.on_result(self.jobs[index], result)
+                            fresh.append(result)
                     else:
                         payloads = [(self.jobs[index], self.engine) for index in pending]
                         context = multiprocessing.get_context(
                             "fork" if "fork" in multiprocessing.get_all_start_methods() else None
                         )
                         with context.Pool(processes=min(self.processes, len(pending))) as pool:
-                            fresh = pool.map(_pool_worker, payloads)
+                            # imap keeps job order but streams completions,
+                            # so on_result fires as each worker reports.
+                            for index, result in zip(pending, pool.imap(_pool_worker, payloads)):
+                                if self.on_result is not None:
+                                    self.on_result(self.jobs[index], result)
+                                fresh.append(result)
                 for index, result in zip(pending, fresh):
                     if self.store is not None:
                         self.store.misses += 1

@@ -464,3 +464,81 @@ class TestEndToEnd:
         output = capsys.readouterr().out
         assert "kappa_star@vanderpol" in output
         assert "kappaD@vanderpol" not in output
+
+
+class TestTelemetryCommands:
+    """``runs watch`` / ``runs stats`` / ``runs list --json`` over a real log."""
+
+    @pytest.fixture(scope="class")
+    def telemetry_run_dir(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("telemetry") / "run"
+        exit_code = main(
+            [
+                "scenarios", "run", "--scenario", "pendulum", "--no-train", "--no-verify",
+                "--samples", "4", "--fraction", "0.05", "--run-dir", str(run_dir),
+            ]
+        )
+        assert exit_code == 0
+        return run_dir
+
+    def test_watch_once_prints_a_finished_frame(self, telemetry_run_dir, capsys):
+        assert main(["runs", "watch", "--run-dir", str(telemetry_run_dir), "--once"]) == 0
+        output = capsys.readouterr().out
+        assert "main" in output and "all finished" in output
+
+    def test_watch_without_event_log_exits_with_reason(self, tmp_path, capsys):
+        code = _exit_code(["runs", "watch", "--run-dir", str(tmp_path / "absent"), "--once"])
+        assert isinstance(code, str)
+        assert "no event log" in code
+
+    def test_stats_reports_the_exact_accounting(self, telemetry_run_dir, capsys):
+        assert main(["runs", "stats", "--run-dir", str(telemetry_run_dir)]) == 0
+        output = capsys.readouterr().out
+        # pendulum eval-only: 2 experts x 3 perturbations, all computed cold.
+        assert "cells: 6 computed, 0 cached" in output
+        assert "all finished" in output
+
+    def test_stats_json_is_sorted_and_machine_readable(self, telemetry_run_dir, capsys):
+        assert main(["runs", "stats", "--run-dir", str(telemetry_run_dir), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["cells_computed"] == 6
+        assert stats["all_finished"] is True
+        assert list(stats) == sorted(stats)
+
+    def test_stats_dedupes_repeated_run_dirs(self, telemetry_run_dir, capsys):
+        assert main(
+            [
+                "runs", "stats",
+                "--run-dir", str(telemetry_run_dir),
+                "--run-dir", str(telemetry_run_dir),
+                "--json",
+            ]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["runs"] == 1  # the same directory never folds twice
+        assert stats["cells_computed"] == 6
+
+    def test_stats_without_event_log_exits_with_reason(self, tmp_path, capsys):
+        code = _exit_code(["runs", "stats", "--run-dir", str(tmp_path / "absent")])
+        assert isinstance(code, str)
+        assert "no event log" in code
+
+    def test_runs_list_json_has_stable_key_order(self, telemetry_run_dir, capsys):
+        assert main(["runs", "list", "--run-dir", str(telemetry_run_dir), "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 6
+        assert all(entry["stage"] == "evaluate" for entry in entries)
+        assert all(list(entry) == sorted(entry) for entry in entries)
+
+    def test_no_telemetry_leaves_no_event_log(self, tmp_path, capsys):
+        run_dir = tmp_path / "quiet"
+        exit_code = main(
+            [
+                "scenarios", "run", "--scenario", "pendulum", "--no-train", "--no-verify",
+                "--samples", "4", "--run-dir", str(run_dir), "--no-telemetry",
+            ]
+        )
+        assert exit_code == 0
+        assert not (run_dir / "events").exists()
+        code = _exit_code(["runs", "watch", "--run-dir", str(run_dir), "--once"])
+        assert "no event log" in code

@@ -1,0 +1,182 @@
+"""Crash-safe event-log emitter and the multiplexing tailer.
+
+Pins the contracts downstream tooling builds on:
+
+* the wire format is byte-stable given a pinned clock (golden-log test);
+* appends are whole-line atomic -- concurrent emitting threads can only
+  interleave complete lines, never tear one;
+* a torn trailing line (a worker died mid-append) is skipped by the
+  reader and picked up once completed;
+* the tailer multiplexes many shard files into one time-ordered stream
+  and is incremental across polls;
+* an emitter whose log cannot be written goes quiet (``broken``) instead
+  of taking the run down.
+"""
+
+import threading
+
+import pytest
+
+from repro.telemetry.emitter import EVENTS_DIRNAME, NullTelemetryEmitter, TelemetryEmitter, events_dir
+from repro.telemetry.events import CellCached, CellFinished, CellStarted, RunStarted, ShardHeartbeat
+from repro.telemetry.reader import EventTailer, read_events
+
+
+class FakeClock:
+    """Deterministic clock: 0.0, 1.0, 2.0, ... per call."""
+
+    def __init__(self):
+        self.now = -1.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestEmitter:
+    def test_golden_log_is_byte_stable(self, tmp_path):
+        with TelemetryEmitter(tmp_path, source="main", clock=FakeClock()) as tele:
+            tele.emit(RunStarted, scenarios=("pendulum",), cells_total=2, cells_owned=2, pid=7)
+            tele.emit(CellStarted, scenario="pendulum", controller="kappa1", perturbation="none")
+            tele.emit(
+                CellFinished,
+                scenario="pendulum",
+                controller="kappa1",
+                perturbation="none",
+                seconds=0.5,
+                safe_rate=1.0,
+            )
+            tele.emit(CellCached, scenario="pendulum", controller="kappa2", perturbation="none")
+        expected = (
+            '{"type":"run-started","version":1,"ts":0.0,"shard":"main",'
+            '"scenarios":["pendulum"],"cells_total":2,"cells_owned":2,"pid":7}\n'
+            '{"type":"cell-started","version":1,"ts":1.0,"shard":"main",'
+            '"scenario":"pendulum","controller":"kappa1","cell":"evaluate","perturbation":"none"}\n'
+            '{"type":"cell-finished","version":1,"ts":2.0,"shard":"main",'
+            '"scenario":"pendulum","controller":"kappa1","cell":"evaluate","perturbation":"none",'
+            '"seconds":0.5,"status":"ok","safe_rate":1.0}\n'
+            '{"type":"cell-cached","version":1,"ts":3.0,"shard":"main",'
+            '"scenario":"pendulum","controller":"kappa2","cell":"evaluate","perturbation":"none"}\n'
+        )
+        path = events_dir(tmp_path) / "main.jsonl"
+        assert path.read_bytes() == expected.encode("utf-8")
+        assert tele.emitted == 4
+
+    def test_validation_errors_propagate(self, tmp_path):
+        from repro.telemetry.events import EventValidationError
+
+        tele = TelemetryEmitter(tmp_path)
+        with pytest.raises(EventValidationError):
+            tele.emit(CellFinished, seconds=-1.0)
+        assert not events_dir(tmp_path).exists()  # nothing was written
+
+    def test_bad_source_names_rejected(self, tmp_path):
+        for source in ("", "a/b", ".hidden"):
+            with pytest.raises(ValueError):
+                TelemetryEmitter(tmp_path, source=source)
+
+    def test_broken_emitter_goes_quiet_instead_of_raising(self, tmp_path):
+        blocker = tmp_path / "occupied"
+        blocker.write_text("a file where the events dir should go")
+        tele = TelemetryEmitter(blocker, source="main")
+        assert tele.emit(CellCached, scenario="s", controller="c") is None
+        assert tele.broken
+        assert tele.emit(CellCached, scenario="s", controller="c") is None
+        assert tele.emitted == 0
+        tele.close()
+
+    def test_concurrent_threads_interleave_whole_lines(self, tmp_path):
+        tele = TelemetryEmitter(tmp_path, source="main")
+        threads = [
+            threading.Thread(
+                target=lambda worker=worker: [
+                    tele.emit(CellCached, scenario=f"w{worker}", controller=f"c{i}")
+                    for i in range(25)
+                ]
+            )
+            for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tele.close()
+        events = read_events(tmp_path)
+        assert len(events) == 100
+        assert all(isinstance(event, CellCached) for event in events)
+        seen = {(event.scenario, event.controller) for event in events}
+        assert len(seen) == 100  # every append landed exactly once, untorn
+
+    def test_heartbeats_emit_immediately_and_stop(self, tmp_path):
+        counters = {"cells_done": 0, "cells_computed": 0, "cells_cached": 0,
+                    "cells_stolen": 0, "cells_skipped": 0}
+        with TelemetryEmitter(tmp_path, source="main", clock=FakeClock()) as tele:
+            with tele.heartbeats(lambda: dict(counters), interval=3600.0):
+                pass  # one immediate beat; the interval never elapses
+            tele.stop_heartbeats()  # idempotent
+        events = read_events(tmp_path)
+        assert [type(event) for event in events] == [ShardHeartbeat]
+
+    def test_null_emitter_mirrors_the_surface(self):
+        tele = NullTelemetryEmitter()
+        with tele:
+            assert tele.emit(CellCached, scenario="s", controller="c") is None
+            with tele.heartbeats(lambda: {}):
+                pass
+        tele.close()
+        assert tele.emitted == 0 and not tele.broken
+
+
+class TestTailer:
+    def _emitters(self, tmp_path, clock):
+        return (
+            TelemetryEmitter(tmp_path, source="shard-1-of-2", clock=clock),
+            TelemetryEmitter(tmp_path, source="shard-2-of-2", clock=clock),
+        )
+
+    def test_multiplexes_shard_files_in_time_order(self, tmp_path):
+        clock = FakeClock()
+        one, two = self._emitters(tmp_path, clock)
+        one.emit(CellCached, scenario="a", controller="c")  # ts 0
+        two.emit(CellCached, scenario="b", controller="c")  # ts 1
+        one.emit(CellCached, scenario="c", controller="c")  # ts 2
+        two.emit(CellCached, scenario="d", controller="c")  # ts 3
+        one.close(), two.close()
+        events = read_events(tmp_path)
+        assert [event.scenario for event in events] == ["a", "b", "c", "d"]
+        assert [event.shard for event in events] == [
+            "shard-1-of-2", "shard-2-of-2", "shard-1-of-2", "shard-2-of-2",
+        ]
+
+    def test_poll_is_incremental(self, tmp_path):
+        tele = TelemetryEmitter(tmp_path, source="main", clock=FakeClock())
+        tailer = EventTailer(tmp_path)
+        assert tailer.poll() == []
+        tele.emit(CellCached, scenario="a", controller="c")
+        tele.emit(CellCached, scenario="b", controller="c")
+        assert [event.scenario for event in tailer.poll()] == ["a", "b"]
+        assert tailer.poll() == []
+        tele.emit(CellCached, scenario="c", controller="c")
+        assert [event.scenario for event in tailer.poll()] == ["c"]
+        tele.close()
+
+    def test_torn_trailing_line_is_deferred_until_complete(self, tmp_path):
+        tele = TelemetryEmitter(tmp_path, source="main", clock=FakeClock())
+        tele.emit(CellCached, scenario="a", controller="c")
+        tele.close()
+        path = events_dir(tmp_path) / "main.jsonl"
+        whole = CellCached(ts=9.0, shard="main", scenario="b", controller="c").to_line() + "\n"
+        with path.open("a") as handle:
+            handle.write(whole[: len(whole) // 2])  # a worker died mid-append
+        tailer = EventTailer(tmp_path)
+        assert [event.scenario for event in tailer.poll()] == ["a"]
+        with path.open("a") as handle:
+            handle.write(whole[len(whole) // 2 :])
+        assert [event.scenario for event in tailer.poll()] == ["b"]
+
+    def test_missing_events_dir_reads_empty(self, tmp_path):
+        assert read_events(tmp_path) == []
+        assert EventTailer(tmp_path).poll() == []
+
+    def test_events_dirname_is_the_reader_writer_contract(self, tmp_path):
+        assert events_dir(tmp_path) == tmp_path / EVENTS_DIRNAME

@@ -69,3 +69,28 @@ class TestTrainingLogger:
         logger = TrainingLogger("demo", verbose=True, print_every=1)
         logger.log(loss=0.25)
         assert "demo" in capsys.readouterr().out
+
+    def test_sink_observes_every_epoch(self, capsys):
+        observed = []
+        logger = TrainingLogger(
+            "demo",
+            verbose=True,
+            print_every=1,
+            sink=lambda name, epoch, metrics: observed.append((name, epoch, metrics)),
+        )
+        logger.log(loss=1, reward=-2.0)
+        logger.log(loss=0.5, reward=-1.0)
+        assert observed == [
+            ("demo", 1, {"loss": 1.0, "reward": -2.0}),
+            ("demo", 2, {"loss": 0.5, "reward": -1.0}),
+        ]
+        assert all(isinstance(value, float) for _, _, metrics in observed for value in metrics.values())
+        # The sink is an observer only: history and printing are unchanged.
+        assert logger.series("loss") == [1.0, 0.5]
+        assert "demo" in capsys.readouterr().out
+
+    def test_no_sink_by_default(self):
+        logger = TrainingLogger("demo")
+        assert logger.sink is None
+        logger.log(loss=1.0)  # nothing to call, nothing raised
+        assert logger.epochs() == 1

@@ -379,6 +379,21 @@ class TestVerificationSweep:
         assert report.num_failed == 1
         assert "Error" in report.results[0].error or "error" in report.results[0].error
 
+    def test_failed_job_error_includes_the_job_spec(self):
+        wrong_dims = MLP(4, 1, hidden_sizes=(8,), seed=1)
+        jobs = [
+            SweepJob.from_network(
+                "bad@vanderpol", "vanderpol", wrong_dims, reach_steps=2, target_error=0.7
+            )
+        ]
+        error = VerificationSweep(jobs, processes=1).run().results[0].error
+        # The originating spec travels with the error so a sweep of hundreds
+        # of jobs is diagnosable from the report alone.
+        assert "job bad@vanderpol" in error
+        assert "system=vanderpol" in error
+        assert "target_error=0.7" in error
+        assert "reach_steps=2" in error
+
     def test_time_budget_marks_resource_exhausted(self):
         system = make_system("vanderpol")
         job = SweepJob.from_network(

@@ -107,6 +107,9 @@ def main(argv=None) -> int:
     parser.add_argument("tests", nargs="*", default=list(DEFAULT_TESTS),
                         help="test files/dirs driven under the collector")
     args = parser.parse_args(argv)
+    # A relative --target (e.g. src/repro/telemetry from the Makefile) is
+    # anchored at the repo root regardless of the invoking cwd.
+    args.target = args.target if args.target.is_absolute() else REPO / args.target
 
     src = str(REPO / "src")
     if src not in sys.path:
