@@ -6,10 +6,13 @@
 # (pytest-cov when installed, a stdlib settrace collector otherwise), with
 # the shard/claim/merge packs in its test list so the coverage floor spans
 # the distributed-coordination code too, and enforces the same floor on
-# src/repro/telemetry via its test pack; `shard-smoke` runs a real 2-shard
-# matrix against one run directory and merges it back end-to-end;
-# `watch-smoke` runs two telemetry-emitting shards, then exercises
-# `runs watch --once` and `runs stats` against the shared event log;
+# src/repro/telemetry and src/repro/jobs via their test packs;
+# `shard-smoke` runs a real 2-shard matrix against one run directory and
+# merges it back end-to-end; `watch-smoke` runs two telemetry-emitting
+# shards, then exercises `runs watch --once` and `runs stats` against the
+# shared event log; `serve-smoke` starts the job daemon, submits a matrix
+# over HTTP with `repro submit --wait`, lists the jobs, watches the run,
+# and shuts the daemon down;
 # `scenario-smoke` runs the fast train->evaluate->verify cell for every
 # registered scenario (also collected by `test` via the scenario_smoke
 # pytest marker); `bench` regenerates the paper's tables/figures at the
@@ -21,7 +24,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-cov shard-smoke watch-smoke scenario-smoke bench verify-bench train-bench lint
+.PHONY: test test-fast test-cov shard-smoke watch-smoke serve-smoke scenario-smoke bench verify-bench train-bench lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +37,9 @@ test-cov:
 	$(PYTHON) tools/check_coverage.py --floor 80 --target src/repro/telemetry \
 		tests/test_telemetry_events.py tests/test_telemetry_emitter.py \
 		tests/test_telemetry_aggregate.py
+	$(PYTHON) tools/check_coverage.py --floor 80 --target src/repro/jobs \
+		tests/test_jobs_messages.py tests/test_jobs_runner.py \
+		tests/test_service_dedupe.py tests/test_service_faults.py
 
 SHARD_SMOKE_DIR ?= runs/shard-smoke
 shard-smoke:
@@ -53,6 +59,22 @@ watch-smoke:
 		--no-train --no-verify --samples 4 --run-dir $(WATCH_SMOKE_DIR) --shard 2/2
 	$(PYTHON) -m repro runs watch --run-dir $(WATCH_SMOKE_DIR) --once
 	$(PYTHON) -m repro runs stats --run-dir $(WATCH_SMOKE_DIR)
+
+SERVE_SMOKE_DIR ?= runs/serve-smoke
+serve-smoke:
+	rm -rf $(SERVE_SMOKE_DIR)
+	$(PYTHON) -m repro serve --run-dir $(SERVE_SMOKE_DIR) & \
+	trap 'kill $$! 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		test -f $(SERVE_SMOKE_DIR)/service/server.json && break; sleep 0.1; done; \
+	test -f $(SERVE_SMOKE_DIR)/service/server.json; \
+	$(PYTHON) -m repro submit matrix --set scenarios=pendulum --set samples=4 \
+		--set train=false --set verify=false \
+		--run-dir $(SERVE_SMOKE_DIR) --wait && \
+	$(PYTHON) -m repro jobs list --run-dir $(SERVE_SMOKE_DIR) && \
+	$(PYTHON) -m repro runs watch --run-dir $(SERVE_SMOKE_DIR) --once && \
+	$(PYTHON) -m repro jobs shutdown --run-dir $(SERVE_SMOKE_DIR) && \
+	wait $$!
 
 scenario-smoke:
 	REPRO_SCALE=quick $(PYTHON) -m pytest -q -m scenario_smoke tests

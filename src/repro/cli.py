@@ -35,6 +35,14 @@ Five sub-commands cover the daily workflow of the reproduction:
     or aggregate cross-run statistics from one or more run directories
     (``runs stats``; see ``docs/telemetry.md``).
 
+``serve`` / ``submit`` / ``jobs``
+    Run the local verification-as-a-service daemon against a run
+    directory (``serve``), submit typed jobs to it (``submit KIND --set
+    KEY=VALUE ...``), and inspect/cancel them (``jobs list|show|cancel``,
+    ``jobs status``, ``jobs shutdown``).  Identical concurrent
+    submissions coalesce onto one execution (single-flight dedupe) and
+    replay from the run store afterwards; see ``docs/service.md``.
+
 Every ``--system`` argument resolves through the scenario registry
 (:mod:`repro.scenarios`), so aliases and parameter-overridable variants
 such as ``vanderpol?mu=1.5`` are accepted everywhere.  ``train``,
@@ -55,19 +63,8 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro import (
-    CocktailConfig,
-    CocktailPipeline,
-    DistillationConfig,
-    EvaluationConfig,
-    MixingConfig,
-    make_default_experts,
-    make_system,
-    set_global_seed,
-)
-from repro.metrics import evaluate_controllers, evaluate_robustness
-from repro.metrics.evaluation import metrics_to_table
-from repro.utils.persistence import load_student_controller, save_cocktail_result
+from repro import make_system
+from repro.utils.persistence import load_student_controller
 from repro.verification import verify_controller
 
 
@@ -409,6 +406,72 @@ def build_parser() -> argparse.ArgumentParser:
     runs_stats.add_argument("--stale-after", type=float, default=15.0, metavar="SECONDS",
                             help="staleness window for the stale-shard diagnostic (default 15)")
 
+    serve = subparsers.add_parser(
+        "serve", help="run the verification-as-a-service job daemon on this machine"
+    )
+    serve.add_argument("--run-dir", type=Path, required=True,
+                       help="run store the daemon executes against and records results into; "
+                       "the endpoint is published in <run-dir>/service/server.json")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0 = pick a free ephemeral port)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="concurrent worker processes (0 = CPU-derived default)")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one typed job to a running `repro serve` daemon"
+    )
+    submit.add_argument("kind", nargs="?", default=None,
+                        help="job kind: train, evaluate, verify-sweep or matrix")
+    submit.add_argument("--set", action="append", default=None, dest="assignments",
+                        metavar="KEY=VALUE",
+                        help="set one spec field (repeatable); tuples as comma lists, "
+                        "dicts as JSON objects, optional budgets as `none`")
+    submit.add_argument("--json", dest="spec_json", default=None, metavar="SPEC",
+                        help="full job-spec JSON object (alternative to KIND --set ...)")
+    submit.add_argument("--run-dir", type=Path, default=None,
+                        help="discover the daemon from this run directory's service/server.json")
+    submit.add_argument("--host", default=None, help="daemon host (alternative to --run-dir)")
+    submit.add_argument("--port", type=int, default=0, help="daemon port (with --host)")
+    submit.add_argument("--force", action="store_true",
+                        help="execute even if the job digest is already cached or in flight")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job reaches a terminal state and print the result")
+    submit.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                        help="polling interval for --wait (default 0.2)")
+    submit.add_argument("--timeout", type=float, default=0.0, metavar="SECONDS",
+                        help="give up waiting after this long (0 = wait forever)")
+
+    jobs = subparsers.add_parser("jobs", help="inspect or control a running job daemon")
+    jobs_commands = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def _add_endpoint_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("--run-dir", type=Path, default=None,
+                               help="discover the daemon from this run directory")
+        subparser.add_argument("--host", default=None, help="daemon host (alternative to --run-dir)")
+        subparser.add_argument("--port", type=int, default=0, help="daemon port (with --host)")
+
+    jobs_list = jobs_commands.add_parser("list", help="list every job the daemon knows")
+    jobs_list.add_argument("--state", default=None,
+                           help="restrict to one state (queued/running/done/failed/"
+                           "cancelled/cached/attached)")
+    _add_endpoint_arguments(jobs_list)
+    jobs_show = jobs_commands.add_parser("show", help="print one job's view and result as JSON")
+    jobs_show.add_argument("job_id")
+    _add_endpoint_arguments(jobs_show)
+    jobs_cancel = jobs_commands.add_parser("cancel", help="cancel a queued/running/attached job")
+    jobs_cancel.add_argument("job_id")
+    _add_endpoint_arguments(jobs_cancel)
+    jobs_events = jobs_commands.add_parser(
+        "events", help="print the telemetry event-log lines a job has produced so far"
+    )
+    jobs_events.add_argument("job_id")
+    _add_endpoint_arguments(jobs_events)
+    jobs_status = jobs_commands.add_parser("status", help="print the daemon's own status")
+    _add_endpoint_arguments(jobs_status)
+    jobs_shutdown = jobs_commands.add_parser("shutdown", help="stop the daemon")
+    _add_endpoint_arguments(jobs_shutdown)
+
     return parser
 
 
@@ -421,118 +484,52 @@ def _resolve_budget(explicit, hints, key, fallback):
 
 
 def _command_train(args: argparse.Namespace) -> int:
-    from repro.scenarios import resolve_scenario
-    from repro.utils.parallel import default_num_envs, default_train_batch_size
+    from repro.jobs.messages import TrainJobSpec
+    from repro.jobs.runner import JobSpecError, execute_train
 
-    set_global_seed(args.seed)
-    system = make_system(args.system)
-    experts = make_default_experts(system)
-    spec, scenario_overrides = resolve_scenario(args.system)
-    hints = spec.train_budget
-    config = CocktailConfig(
-        mixing=MixingConfig(
-            epochs=_resolve_budget(args.mixing_epochs, hints, "mixing_epochs", 10),
-            steps_per_epoch=_resolve_budget(args.mixing_steps, hints, "mixing_steps", 1024),
-            num_envs=_resolve_budget(args.num_envs, hints, "num_envs", default_num_envs()),
-            seed=args.seed,
-        ),
-        distillation=DistillationConfig(
-            epochs=_resolve_budget(args.distill_epochs, hints, "distill_epochs", 100),
-            dataset_size=_resolve_budget(args.dataset_size, hints, "dataset_size", 2500),
-            hidden_sizes=(32, 32),
-            l2_weight=5e-3,
-            trajectory_fraction=float(hints.get("trajectory_fraction", 0.6)),
-            train_batch_size=_resolve_budget(
-                args.train_batch_size, hints, "train_batch_size", default_train_batch_size()
-            ),
-            seed=args.seed,
-        ),
-        evaluation=EvaluationConfig(
-            samples=_resolve_budget(args.eval_samples, hints, "eval_samples", 150),
-            batch_size=args.eval_batch_size or None,
-        ),
+    spec = TrainJobSpec(
+        system=args.system,
+        output=str(args.output),
+        mixing_epochs=args.mixing_epochs,
+        mixing_steps=args.mixing_steps,
+        distill_epochs=args.distill_epochs,
+        dataset_size=args.dataset_size,
+        eval_samples=args.eval_samples,
+        num_envs=args.num_envs,
+        train_batch_size=args.train_batch_size,
+        eval_batch_size=args.eval_batch_size,
         seed=args.seed,
     )
-
-    store = train_key = None
+    store = None
     if args.run_dir is not None:
         from repro.experiments import RunStore
 
         store = RunStore(args.run_dir)
-        params = dict(spec.default_params)
-        params.update(scenario_overrides)
-        # direct_baseline distinguishes this entry (kappa_star + kappa_d +
-        # record.json) from the matrix runner's student-only train entries.
-        train_key = store.key(
-            "train",
-            {
-                "system": spec.name,
-                "params": params,
-                "cocktail": config,
-                "seed": args.seed,
-                "direct_baseline": True,
-            },
-        )
-        if store.contains(train_key):
-            output = Path(args.output)
-            output.mkdir(parents=True, exist_ok=True)
-            import shutil
-
-            for artefact in sorted(store.entry_dir(train_key).iterdir()):
-                if artefact.is_file() and artefact.name not in ("entry.json", "result.json"):
-                    shutil.copyfile(artefact, output / artefact.name)
-            print(
-                f"restored saved controllers from the run store "
-                f"(digest {train_key.digest[:16]}) to {output}"
-            )
-            return 0
-
-    result = CocktailPipeline(system, experts, config).run()
-    metrics = evaluate_controllers(
-        system,
-        result.controllers(),
-        seed=args.seed,
-        config=config.evaluation,
-    )
-    print(metrics_to_table(f"Cocktail on {args.system}", metrics))
-    record = {name: metric.as_dict() for name, metric in metrics.items()}
-    save_cocktail_result(
-        result,
-        args.output,
-        record={"system": args.system, "metrics": record, "seed": args.seed},
-        context={"system": spec.name, "seed": args.seed},
-        digest=train_key.digest if train_key is not None else None,
-    )
-    print(f"saved controllers and record to {args.output}")
-    if store is not None:
-        output = Path(args.output)
-        files = {
-            path.name: path
-            for path in sorted(output.iterdir())
-            if path.is_file() and path.suffix in (".npz", ".json")
-        }
-        store.save(train_key, {"record": "record.json", "system": spec.name}, files=files)
-        print(f"recorded the run in {store.root} (digest {train_key.digest[:16]})")
+    try:
+        execute_train(spec, store=store, say=print)
+    except JobSpecError as error:
+        raise SystemExit(str(error))
     return 0
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
-    set_global_seed(args.seed)
-    system = make_system(args.system)
-    controller = _load_controller(args.controller_dir, args.controller)
-    outcome = evaluate_robustness(
-        system,
-        controller,
+    from repro.jobs.messages import EvaluateJobSpec
+    from repro.jobs.runner import JobSpecError, execute_evaluate
+
+    spec = EvaluateJobSpec(
+        system=args.system,
+        controller_dir=str(args.controller_dir),
+        controller=args.controller,
         perturbation=args.perturbation,
         fraction=args.fraction,
         samples=args.samples,
-        rng=args.seed,
-        batch_size=args.batch_size or None,
+        batch_size=args.batch_size,
+        seed=args.seed,
     )
-    print(
-        f"{args.controller} on {args.system} ({args.perturbation}, {args.samples} samples): "
-        f"Sr = {100 * outcome.safe_rate:.1f}%, e = {outcome.mean_energy:.2f}"
-    )
+    try:
+        execute_evaluate(spec, say=print)
+    except JobSpecError as error:
+        raise SystemExit(str(error))
     return 0
 
 
@@ -562,13 +559,9 @@ def _command_verify(args: argparse.Namespace) -> int:
     return 0
 
 
-def _expand_sweep_specs(args: argparse.Namespace) -> list:
-    """Turn ``--spec``/``--system`` arguments into a list of SweepJobs."""
-
-    import json
-
-    from repro.scenarios import resolve_scenario
-    from repro.verification.sweep import SweepJob
+def _command_verify_sweep(args: argparse.Namespace) -> int:
+    from repro.jobs.messages import VerifySweepJobSpec
+    from repro.jobs.runner import JobSpecError, execute_verify_sweep
 
     specs = list(args.spec or [])
     if args.system is not None or args.controller_dir is not None:
@@ -578,62 +571,28 @@ def _expand_sweep_specs(args: argparse.Namespace) -> list:
     if not specs:
         raise SystemExit("verify-sweep needs at least one --spec (or --system/--controller-dir)")
 
-    parameters = dict(
+    spec = VerifySweepJobSpec(
+        specs=tuple(specs),
         target_error=args.target_error,
         degree=args.degree,
         max_partitions=args.max_partitions,
         reach_steps=args.reach_steps,
         reach_box_scale=args.reach_box_scale,
-        invariant_grid=args.invariant_grid or None,
-        work_budget=args.work_budget or None,
-        time_budget_seconds=args.time_budget or None,
+        invariant_grid=args.invariant_grid,
+        work_budget=args.work_budget,
+        time_budget=args.time_budget,
+        engine=args.engine,
+        jobs=args.jobs,
     )
-    jobs = []
-    for spec in specs:
-        pieces = spec.split(":")
-        if len(pieces) == 2:
-            system, directory = pieces
-            record_path = Path(directory) / "record.json"
-            try:
-                with record_path.open() as handle:
-                    controllers = sorted(json.load(handle).get("controllers", {}))
-            except OSError as error:
-                raise SystemExit(f"cannot read {record_path}: {error}")
-            except json.JSONDecodeError as error:
-                raise SystemExit(f"corrupt record {record_path}: {error}")
-            if not controllers:
-                raise SystemExit(f"{record_path} records no controllers")
-        elif len(pieces) == 3:
-            system, directory = pieces[0], pieces[1]
-            controllers = [pieces[2]]
-        else:
-            raise SystemExit(f"bad --spec {spec!r}; expected SYSTEM:DIR[:CONTROLLER]")
-        try:
-            resolve_scenario(system)
-        except ValueError as error:
-            raise SystemExit(f"bad --spec {spec!r}: {error}")
-        for controller in controllers:
-            try:
-                jobs.append(SweepJob.from_saved(system, directory, controller=controller, **parameters))
-            except (OSError, KeyError) as error:
-                raise SystemExit(f"cannot load controller {controller!r} from {directory}: {error}")
-    return jobs
-
-
-def _command_verify_sweep(args: argparse.Namespace) -> int:
-    from repro.verification.sweep import VerificationSweep
-
-    jobs = _expand_sweep_specs(args)
     store = None
     if args.run_dir is not None:
         from repro.experiments import RunStore
 
         store = RunStore(args.run_dir)
-    sweep = VerificationSweep(jobs, processes=args.jobs or None, engine=args.engine, store=store)
-    report = sweep.run()
-    print(report.table())
-    if store is not None:
-        print(f"run store {store.root}: {store.hits} job(s) replayed, {store.misses} executed")
+    try:
+        report = execute_verify_sweep(spec, store=store, say=print)
+    except JobSpecError as error:
+        raise SystemExit(str(error))
     if args.csv is not None:
         path = report.to_csv(args.csv)
         print(f"wrote per-job records to {path}")
@@ -703,7 +662,31 @@ def _command_scenarios(args: argparse.Namespace) -> int:
             **matrix_kwargs,
         )
     else:
-        report = run_scenario_matrix(progress=print, **matrix_kwargs)
+        # The plain (unsharded) run routes through the reusable job layer,
+        # so this path and a daemon-submitted matrix job are the same code.
+        from repro.jobs.messages import MatrixJobSpec
+        from repro.jobs.runner import JobSpecError, execute_matrix
+
+        spec = MatrixJobSpec(
+            scenarios=tuple(args.scenario or ()),
+            samples=args.samples,
+            fraction=args.fraction,
+            train=not args.no_train,
+            verify=not args.no_verify,
+            jobs=args.jobs,
+            seed=args.seed,
+            budget_scale=args.budget_scale,
+        )
+        try:
+            report = execute_matrix(
+                spec,
+                run_dir=args.run_dir,
+                say=print,
+                force=args.force,
+                telemetry=False if args.no_telemetry else None,
+            )
+        except JobSpecError as error:
+            raise SystemExit(str(error))
     print(report.table())
     if args.run_dir is not None:
         print(
@@ -879,6 +862,151 @@ def _command_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.jobs.service import JobServer, discovery_path
+
+    try:
+        server = JobServer(
+            args.run_dir, host=args.host, port=args.port, workers=args.workers or None
+        )
+    except OSError as error:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {error}")
+    host, port = server.address
+    print(
+        f"repro job daemon serving {args.run_dir} on http://{host}:{port} "
+        f"({server.service.workers} worker(s))"
+    )
+    print(
+        f"endpoint recorded in {discovery_path(args.run_dir)}; stop with "
+        f"`repro jobs shutdown --run-dir {args.run_dir}` or Ctrl-C"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    """Resolve --run-dir/--host/--port into a connected ServiceClient."""
+
+    from repro.jobs.client import ServiceClient, ServiceUnavailable
+
+    if args.host is not None:
+        if args.port <= 0:
+            raise SystemExit("--host needs an explicit --port")
+        return ServiceClient(host=args.host, port=args.port)
+    if args.run_dir is None:
+        raise SystemExit(
+            "no daemon endpoint: pass --run-dir (to discover a local daemon) or --host/--port"
+        )
+    try:
+        return ServiceClient.discover(args.run_dir)
+    except ServiceUnavailable as error:
+        raise SystemExit(str(error))
+
+
+def _print_job_result(view, result: dict) -> None:
+    import json
+
+    if view.error:
+        print(f"error: {view.error}")
+    if result:
+        print(json.dumps(result, indent=2, sort_keys=True))
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.jobs.client import RemoteError, ServiceUnavailable
+    from repro.jobs.messages import TERMINAL_STATES, build_job_spec
+    from repro.utils.messages import MessageValidationError
+
+    if (args.kind is None) == (args.spec_json is None):
+        raise SystemExit("submit needs either KIND [--set KEY=VALUE ...] or --json SPEC")
+    if args.spec_json is not None:
+        try:
+            payload = json.loads(args.spec_json)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"bad --json: {error}")
+        if not isinstance(payload, dict):
+            raise SystemExit("bad --json: the job spec must be a JSON object")
+    else:
+        try:
+            payload = build_job_spec(args.kind, args.assignments or []).to_json()
+        except MessageValidationError as error:
+            raise SystemExit(str(error))
+
+    client = _service_client(args)
+    try:
+        reply = client.submit(payload, force=args.force)
+        view = reply.view()
+        print(f"job {view.job_id} [{view.kind}] {view.state} (digest {view.digest[:16]})")
+        if view.state in TERMINAL_STATES:
+            _print_job_result(view, reply.result)
+            return 0 if view.state in ("done", "cached") else 1
+        if not args.wait:
+            return 0
+        reply = client.wait(view.job_id, poll=args.poll, timeout=args.timeout or None)
+        view = reply.view()
+        print(f"job {view.job_id} finished: {view.state}")
+        _print_job_result(view, reply.result)
+        return 0 if view.state in ("done", "cached") else 1
+    except (RemoteError, ServiceUnavailable, TimeoutError) as error:
+        raise SystemExit(str(error))
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.jobs.client import RemoteError, ServiceUnavailable
+    from repro.utils.messages import MessageValidationError
+
+    client = _service_client(args)
+    try:
+        if args.jobs_command == "list":
+            views = client.jobs(state=args.state)
+            header = f"{'job':22s} {'kind':12s} {'state':10s} {'digest':18s} attached-to"
+            print(header)
+            print("-" * len(header))
+            for view in views:
+                print(
+                    f"{view.job_id:22s} {view.kind:12s} {view.state:10s} "
+                    f"{view.digest[:16]:18s} {view.attached_to or '-'}"
+                )
+            print(f"{len(views)} job(s)")
+            return 0
+        if args.jobs_command == "show":
+            reply = client.status(args.job_id)
+            print(json.dumps(reply.job, indent=2, sort_keys=True))
+            if reply.result:
+                print(json.dumps({"result": reply.result}, indent=2, sort_keys=True))
+            return 0
+        if args.jobs_command == "cancel":
+            view = client.cancel(args.job_id).view()
+            print(f"job {view.job_id} cancelled")
+            return 0
+        if args.jobs_command == "events":
+            for line in client.events(args.job_id).lines:
+                print(line)
+            return 0
+        if args.jobs_command == "status":
+            status = client.server_status()
+            jobs = ", ".join(f"{state}={count}" for state, count in sorted(status.jobs.items()))
+            print(
+                f"daemon pid {status.pid} serving {status.run_dir} "
+                f"({status.workers} worker(s)): {jobs or 'no jobs yet'}"
+            )
+            return 0
+        if args.jobs_command == "shutdown":
+            client.shutdown()
+            print("daemon stopping")
+            return 0
+    except (RemoteError, ServiceUnavailable, MessageValidationError) as error:
+        raise SystemExit(str(error))
+    raise SystemExit(f"unknown jobs command {args.jobs_command!r}")  # pragma: no cover
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
 
@@ -895,6 +1023,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_scenarios(args)
     if args.command == "runs":
         return _command_runs(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "submit":
+        return _command_submit(args)
+    if args.command == "jobs":
+        return _command_jobs(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
 
 

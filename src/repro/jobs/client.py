@@ -1,0 +1,191 @@
+"""Thin client for the ``repro serve`` daemon (``repro submit`` / ``repro jobs``).
+
+One HTTP POST per call, one typed message each way.  The client never
+retries and never interprets results beyond typing them: transport
+failures raise :class:`ServiceUnavailable` (the daemon is not there),
+in-band :class:`~repro.jobs.messages.ErrorReply` messages raise
+:class:`RemoteError` carrying the daemon's error code, and everything else
+comes back as the parsed reply dataclass.
+
+Endpoint discovery reads ``<run_dir>/service/server.json``, the file the
+daemon maintains while serving -- clients on the same machine need only
+the run directory they share with it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.jobs.messages import (
+    TERMINAL_STATES,
+    ApiMessage,
+    CancelJob,
+    ErrorReply,
+    JobEvents,
+    JobEventsReply,
+    JobList,
+    JobReply,
+    JobStatus,
+    JobView,
+    ListJobs,
+    ServerStatus,
+    ServerStatusReply,
+    Shutdown,
+    ShutdownReply,
+    SubmitJob,
+    parse_api_message,
+)
+from repro.jobs.service import discovery_path, read_discovery
+from repro.utils.messages import MessageValidationError
+
+__all__ = ["ServiceUnavailable", "RemoteError", "ServiceClient"]
+
+
+class ServiceUnavailable(RuntimeError):
+    """The daemon cannot be reached (not running, wrong endpoint, died)."""
+
+
+class RemoteError(RuntimeError):
+    """The daemon answered with a typed :class:`ErrorReply`."""
+
+    def __init__(self, reply: ErrorReply):
+        super().__init__(reply.error)
+        self.code = reply.code
+        self.error = reply.error
+
+
+class ServiceClient:
+    """Talk to one daemon at ``host:port`` (see :meth:`discover`)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    @classmethod
+    def discover(cls, run_dir: Union[str, Path], timeout: float = 60.0) -> "ServiceClient":
+        """The client for the daemon serving ``run_dir``.
+
+        Raises :class:`ServiceUnavailable` naming the discovery file when
+        no daemon has registered there.
+        """
+
+        try:
+            endpoint = read_discovery(run_dir)
+        except (OSError, ValueError):
+            raise ServiceUnavailable(
+                f"no job daemon is registered for {run_dir} "
+                f"(missing or unreadable {discovery_path(run_dir)}); "
+                f"start one with `repro serve --run-dir {run_dir}`"
+            )
+        return cls(host=str(endpoint["host"]), port=int(endpoint["port"]), timeout=timeout)
+
+    # -- transport ----------------------------------------------------------
+
+    def call(self, message: ApiMessage) -> ApiMessage:
+        """One request/reply exchange; in-band errors raise :class:`RemoteError`."""
+
+        body = message.to_line().encode("utf-8")
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                "POST", "/rpc", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            raw = response.read()
+        except OSError as error:
+            raise ServiceUnavailable(
+                f"cannot reach the job daemon at {self.host}:{self.port}: {error}"
+            )
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+            reply = parse_api_message(payload)
+        except (UnicodeDecodeError, json.JSONDecodeError, MessageValidationError) as error:
+            raise ServiceUnavailable(
+                f"the job daemon at {self.host}:{self.port} sent an unreadable reply: {error}"
+            )
+        if isinstance(reply, ErrorReply):
+            raise RemoteError(reply)
+        return reply
+
+    # -- verbs --------------------------------------------------------------
+
+    def submit(self, spec_payload: Dict, force: bool = False) -> JobReply:
+        reply = self.call(SubmitJob(spec=spec_payload, force=force))
+        assert isinstance(reply, JobReply)
+        return reply
+
+    def status(self, job_id: str) -> JobReply:
+        reply = self.call(JobStatus(job_id=job_id))
+        assert isinstance(reply, JobReply)
+        return reply
+
+    def cancel(self, job_id: str) -> JobReply:
+        reply = self.call(CancelJob(job_id=job_id))
+        assert isinstance(reply, JobReply)
+        return reply
+
+    def jobs(self, state: Optional[str] = None) -> Tuple[JobView, ...]:
+        reply = self.call(ListJobs(state=state))
+        assert isinstance(reply, JobList)
+        return reply.views()
+
+    def events(self, job_id: str, cursor: Optional[Dict] = None) -> JobEventsReply:
+        reply = self.call(JobEvents(job_id=job_id, cursor=cursor or {}))
+        assert isinstance(reply, JobEventsReply)
+        return reply
+
+    def server_status(self) -> ServerStatusReply:
+        reply = self.call(ServerStatus())
+        assert isinstance(reply, ServerStatusReply)
+        return reply
+
+    def shutdown(self) -> ShutdownReply:
+        reply = self.call(Shutdown())
+        assert isinstance(reply, ShutdownReply)
+        return reply
+
+    # -- polling ------------------------------------------------------------
+
+    def wait(self, job_id: str, poll: float = 0.2, timeout: Optional[float] = None) -> JobReply:
+        """Poll until the job reaches a terminal state; returns the last reply.
+
+        Raises ``TimeoutError`` (naming the job and its last state) if the
+        deadline passes first.
+        """
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            reply = self.status(job_id)
+            if reply.view().state in TERMINAL_STATES:
+                return reply
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {reply.view().state!r} after {timeout:.1f}s"
+                )
+            time.sleep(poll)
+
+    def follow_events(
+        self, job_id: str, poll: float = 0.2, timeout: Optional[float] = None
+    ) -> Iterator[str]:
+        """Yield event-log lines until the job finishes (then drain and stop)."""
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor: Dict = {}
+        while True:
+            reply = self.events(job_id, cursor)
+            cursor = dict(reply.cursor)
+            for line in reply.lines:
+                yield line
+            if reply.done and not reply.lines:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} event stream still open after {timeout:.1f}s")
+            if not reply.lines:
+                time.sleep(poll)

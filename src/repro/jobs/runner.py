@@ -1,0 +1,590 @@
+"""Resolve, digest and execute job specs -- the reusable job layer.
+
+This module is the single execution path behind both the CLI verbs
+(``repro train`` / ``verify-sweep`` / ``scenarios run``) and the
+``repro serve`` daemon: each verb builds a :mod:`repro.jobs.messages` spec
+and hands it here, so the two entry points cannot drift apart.
+
+The lifecycle has four separable steps:
+
+``resolve``
+    :func:`resolve_job` turns a declarative spec into its *resolved
+    config* -- budget hints applied, scenarios canonicalised, controllers
+    replaced by their weight digests -- the dictionary that defines the
+    job's identity.  Resolution failures raise :class:`JobSpecError` with
+    the same messages the CLI has always printed (the CLI converts them to
+    ``SystemExit``, the daemon to a typed ``ErrorReply``).
+
+``digest``
+    :func:`job_key` folds the resolved config through the run store's
+    canonical digest.  Two submissions with the same digest *are* the same
+    job: this is the key single-flight dedupe and job-level caching share.
+
+``execute``
+    ``execute_train`` / ``execute_evaluate`` / ``execute_verify_sweep`` /
+    ``execute_matrix`` run the job, printing through an injectable ``say``
+    so CLI output is byte-identical to the pre-refactor commands.
+
+``persist``
+    :func:`execute_job` additionally reduces the outcome to a JSON payload
+    plus a cacheability verdict; the daemon records cacheable payloads
+    under the job digest so identical future submissions replay instantly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.jobs.messages import (
+    EvaluateJobSpec,
+    JobSpec,
+    MatrixJobSpec,
+    TrainJobSpec,
+    VerifySweepJobSpec,
+)
+
+__all__ = [
+    "JobSpecError",
+    "resolve_job",
+    "job_key",
+    "resolve_budget",
+    "execute_train",
+    "execute_evaluate",
+    "expand_sweep_specs",
+    "execute_verify_sweep",
+    "sweep_payload",
+    "execute_matrix",
+    "matrix_payload",
+    "execute_job",
+]
+
+#: Swallow output by default; the CLI injects ``print``.
+_SILENT: Callable[[str], None] = lambda message: None
+
+
+class JobSpecError(ValueError):
+    """A job spec cannot be resolved against this machine's artefacts.
+
+    Raised for unknown scenarios, unreadable controller directories,
+    malformed sweep spec strings -- anything wrong with the *description*
+    rather than the execution.  Messages are exactly what the CLI verbs
+    print, so ``raise SystemExit(str(error))`` preserves historical output.
+    """
+
+
+def resolve_budget(explicit, hints, key, fallback):
+    """An explicitly passed value wins; then the scenario hint; then ``fallback``."""
+
+    if explicit is not None:
+        return explicit
+    return type(fallback)(hints.get(key, fallback))
+
+
+def _resolve_scenario(name: str):
+    from repro.scenarios import resolve_scenario
+
+    try:
+        return resolve_scenario(name)
+    except ValueError as error:
+        raise JobSpecError(str(error))
+
+
+def _load_controller(directory, name: str):
+    """Load a saved student; misses raise the CLI's historical messages."""
+
+    from repro.utils.persistence import load_student_controller
+
+    try:
+        return load_student_controller(directory, name=name)
+    except FileNotFoundError as error:
+        raise JobSpecError(f"no saved controllers found in {directory}: {error}")
+    except KeyError as error:
+        raise JobSpecError(str(error.args[0]) if error.args else str(error))
+
+
+# ---------------------------------------------------------------------------
+# train
+# ---------------------------------------------------------------------------
+
+
+def _resolve_train(spec: TrainJobSpec):
+    """(scenario, overrides, CocktailConfig, resolved identity dict)."""
+
+    from repro import CocktailConfig, DistillationConfig, EvaluationConfig, MixingConfig
+    from repro.utils.parallel import default_num_envs, default_train_batch_size
+
+    scenario, overrides = _resolve_scenario(spec.system)
+    hints = scenario.train_budget
+    config = CocktailConfig(
+        mixing=MixingConfig(
+            epochs=resolve_budget(spec.mixing_epochs, hints, "mixing_epochs", 10),
+            steps_per_epoch=resolve_budget(spec.mixing_steps, hints, "mixing_steps", 1024),
+            num_envs=resolve_budget(spec.num_envs, hints, "num_envs", default_num_envs()),
+            seed=spec.seed,
+        ),
+        distillation=DistillationConfig(
+            epochs=resolve_budget(spec.distill_epochs, hints, "distill_epochs", 100),
+            dataset_size=resolve_budget(spec.dataset_size, hints, "dataset_size", 2500),
+            hidden_sizes=(32, 32),
+            l2_weight=5e-3,
+            trajectory_fraction=float(hints.get("trajectory_fraction", 0.6)),
+            train_batch_size=resolve_budget(
+                spec.train_batch_size, hints, "train_batch_size", default_train_batch_size()
+            ),
+            seed=spec.seed,
+        ),
+        evaluation=EvaluationConfig(
+            samples=resolve_budget(spec.eval_samples, hints, "eval_samples", 150),
+            batch_size=spec.eval_batch_size or None,
+        ),
+        seed=spec.seed,
+    )
+    params = dict(scenario.default_params)
+    params.update(overrides)
+    # direct_baseline distinguishes this entry (kappa_star + kappa_d +
+    # record.json) from the matrix runner's student-only train entries.
+    resolved = {
+        "system": scenario.name,
+        "params": params,
+        "cocktail": config,
+        "seed": spec.seed,
+        "direct_baseline": True,
+    }
+    return scenario, overrides, config, resolved
+
+
+def execute_train(
+    spec: TrainJobSpec,
+    store=None,
+    say: Callable[[str], None] = _SILENT,
+    force: bool = False,
+) -> Dict:
+    """Run (or restore) one Cocktail training job.
+
+    With a ``store``, an identical earlier train is restored instead of
+    retrained; a fresh run is recorded under its config digest.  With
+    ``spec.output`` the artefacts also land in that directory, exactly as
+    ``repro train --output`` always has.
+    """
+
+    import shutil
+
+    from repro import CocktailPipeline, make_default_experts, make_system, set_global_seed
+    from repro.metrics import evaluate_controllers
+    from repro.metrics.evaluation import metrics_to_table
+    from repro.utils.persistence import save_cocktail_result
+
+    scenario, _overrides, config, resolved = _resolve_train(spec)
+    set_global_seed(spec.seed)
+    system = make_system(spec.system)
+    experts = make_default_experts(system)
+
+    train_key = store.key("train", resolved) if store is not None else None
+    if store is not None and not force and store.contains(train_key):
+        if spec.output:
+            output = Path(spec.output)
+            output.mkdir(parents=True, exist_ok=True)
+            for artefact in sorted(store.entry_dir(train_key).iterdir()):
+                if artefact.is_file() and artefact.name not in ("entry.json", "result.json"):
+                    shutil.copyfile(artefact, output / artefact.name)
+            say(
+                f"restored saved controllers from the run store "
+                f"(digest {train_key.digest[:16]}) to {output}"
+            )
+        else:
+            say(
+                f"restored saved controllers from the run store "
+                f"(digest {train_key.digest[:16]})"
+            )
+        payload = {"system": spec.system, "seed": spec.seed, "restored": True}
+        record_path = store.entry_dir(train_key) / "record.json"
+        if record_path.is_file():
+            import json
+
+            with record_path.open() as handle:
+                payload["metrics"] = json.load(handle).get("record", {}).get("metrics", {})
+        return payload
+
+    result = CocktailPipeline(system, experts, config).run()
+    metrics = evaluate_controllers(
+        system,
+        result.controllers(),
+        seed=spec.seed,
+        config=config.evaluation,
+    )
+    say(metrics_to_table(f"Cocktail on {spec.system}", metrics))
+    record = {name: metric.as_dict() for name, metric in metrics.items()}
+
+    scratch = None
+    if spec.output:
+        output = Path(spec.output)
+    else:
+        # The daemon persists through the store only; artefacts are staged
+        # in a throwaway directory just long enough to publish them.
+        scratch = tempfile.mkdtemp(prefix="repro-train-")
+        output = Path(scratch)
+    try:
+        save_cocktail_result(
+            result,
+            output,
+            record={"system": spec.system, "metrics": record, "seed": spec.seed},
+            context={"system": scenario.name, "seed": spec.seed},
+            digest=train_key.digest if train_key is not None else None,
+        )
+        if spec.output:
+            say(f"saved controllers and record to {output}")
+        if store is not None:
+            files = {
+                path.name: path
+                for path in sorted(output.iterdir())
+                if path.is_file() and path.suffix in (".npz", ".json")
+            }
+            store.save(train_key, {"record": "record.json", "system": scenario.name}, files=files)
+            say(f"recorded the run in {store.root} (digest {train_key.digest[:16]})")
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return {"system": spec.system, "seed": spec.seed, "metrics": record, "restored": False}
+
+
+# ---------------------------------------------------------------------------
+# evaluate
+# ---------------------------------------------------------------------------
+
+
+def _resolve_evaluate(spec: EvaluateJobSpec) -> Dict:
+    from repro.experiments.digest import weights_digest
+
+    scenario, overrides = _resolve_scenario(spec.system)
+    controller = _load_controller(spec.controller_dir, spec.controller)
+    params = dict(scenario.default_params)
+    params.update(overrides)
+    network = controller.network
+    return {
+        "system": scenario.name,
+        "params": params,
+        "controller": spec.controller,
+        "weights": weights_digest(network.state_dict(), extra=network.architecture()),
+        "perturbation": spec.perturbation,
+        "fraction": spec.fraction,
+        "samples": spec.samples,
+        "batch_size": spec.batch_size,
+        "seed": spec.seed,
+    }
+
+
+def execute_evaluate(
+    spec: EvaluateJobSpec,
+    say: Callable[[str], None] = _SILENT,
+) -> Dict:
+    """Evaluate a saved controller; prints the CLI's historical one-liner."""
+
+    from repro import make_system, set_global_seed
+    from repro.metrics import evaluate_robustness
+
+    _resolve_scenario(spec.system)
+    set_global_seed(spec.seed)
+    system = make_system(spec.system)
+    controller = _load_controller(spec.controller_dir, spec.controller)
+    outcome = evaluate_robustness(
+        system,
+        controller,
+        perturbation=spec.perturbation,
+        fraction=spec.fraction,
+        samples=spec.samples,
+        rng=spec.seed,
+        batch_size=spec.batch_size or None,
+    )
+    say(
+        f"{spec.controller} on {spec.system} ({spec.perturbation}, {spec.samples} samples): "
+        f"Sr = {100 * outcome.safe_rate:.1f}%, e = {outcome.mean_energy:.2f}"
+    )
+    return {
+        "controller": spec.controller,
+        "system": spec.system,
+        "perturbation": spec.perturbation,
+        "samples": spec.samples,
+        "safe_rate": float(outcome.safe_rate),
+        "mean_energy": float(outcome.mean_energy),
+    }
+
+
+# ---------------------------------------------------------------------------
+# verify-sweep
+# ---------------------------------------------------------------------------
+
+
+def expand_sweep_specs(spec: VerifySweepJobSpec) -> List:
+    """Turn ``SYSTEM:DIR[:CONTROLLER]`` entries into SweepJobs.
+
+    Moved verbatim from the CLI: omitting CONTROLLER expands to every
+    controller recorded in DIR, and every failure mode keeps its historical
+    message (now a :class:`JobSpecError`).
+    """
+
+    import json
+
+    from repro.scenarios import resolve_scenario
+    from repro.verification.sweep import SweepJob
+
+    parameters = dict(
+        target_error=spec.target_error,
+        degree=spec.degree,
+        max_partitions=spec.max_partitions,
+        reach_steps=spec.reach_steps,
+        reach_box_scale=spec.reach_box_scale,
+        invariant_grid=spec.invariant_grid or None,
+        work_budget=spec.work_budget or None,
+        time_budget_seconds=spec.time_budget or None,
+    )
+    jobs = []
+    for entry in spec.specs:
+        pieces = entry.split(":")
+        if len(pieces) == 2:
+            system, directory = pieces
+            record_path = Path(directory) / "record.json"
+            try:
+                with record_path.open() as handle:
+                    controllers = sorted(json.load(handle).get("controllers", {}))
+            except OSError as error:
+                raise JobSpecError(f"cannot read {record_path}: {error}")
+            except json.JSONDecodeError as error:
+                raise JobSpecError(f"corrupt record {record_path}: {error}")
+            if not controllers:
+                raise JobSpecError(f"{record_path} records no controllers")
+        elif len(pieces) == 3:
+            system, directory = pieces[0], pieces[1]
+            controllers = [pieces[2]]
+        else:
+            raise JobSpecError(f"bad --spec {entry!r}; expected SYSTEM:DIR[:CONTROLLER]")
+        try:
+            resolve_scenario(system)
+        except ValueError as error:
+            raise JobSpecError(f"bad --spec {entry!r}: {error}")
+        for controller in controllers:
+            try:
+                jobs.append(SweepJob.from_saved(system, directory, controller=controller, **parameters))
+            except (OSError, KeyError) as error:
+                raise JobSpecError(f"cannot load controller {controller!r} from {directory}: {error}")
+    return jobs
+
+
+def _resolve_verify_sweep(spec: VerifySweepJobSpec) -> Dict:
+    jobs = expand_sweep_specs(spec)
+    return {
+        "jobs": [job.cache_config(spec.engine) for job in jobs],
+        "engine": spec.engine,
+    }
+
+
+def execute_verify_sweep(
+    spec: VerifySweepJobSpec,
+    store=None,
+    say: Callable[[str], None] = _SILENT,
+    force: bool = False,
+):
+    """Run the verification sweep; returns the :class:`SweepReport`.
+
+    Prints the report table and (store-backed) the replay/execute summary,
+    matching ``repro verify-sweep`` byte for byte; the caller owns the CSV
+    and the exit code.
+    """
+
+    from repro.verification.sweep import VerificationSweep
+
+    jobs = expand_sweep_specs(spec)
+    sweep = VerificationSweep(
+        jobs, processes=spec.jobs or None, engine=spec.engine, store=store, force=force
+    )
+    report = sweep.run()
+    say(report.table())
+    if store is not None:
+        say(f"run store {store.root}: {store.hits} job(s) replayed, {store.misses} executed")
+    return report
+
+
+def sweep_payload(spec: VerifySweepJobSpec, report) -> Tuple[Dict, bool]:
+    """JSON-able sweep outcome + whether it may be cached at the job level.
+
+    Per-job wall clocks are stripped (the job digest must serve identical
+    bytes forever); errors, skipped jobs and wall-clock-truncated verdicts
+    are never cached, mirroring ``VerificationSweep._cacheable``.
+    """
+
+    records = []
+    cacheable = True
+    for record in report.as_records():
+        record = dict(record)
+        record.pop("elapsed_seconds", None)
+        records.append(record)
+        if record.get("status") != "ok":
+            cacheable = False
+        elif spec.time_budget and "resource-exhausted" in (
+            record.get("reach_status"),
+            record.get("invariant_status"),
+        ):
+            cacheable = False
+    payload = {
+        "engine": report.engine,
+        "num_verified": report.num_verified,
+        "num_failed": report.num_failed,
+        "records": records,
+    }
+    return payload, cacheable
+
+
+# ---------------------------------------------------------------------------
+# matrix
+# ---------------------------------------------------------------------------
+
+
+def _resolve_matrix(spec: MatrixJobSpec) -> Dict:
+    from repro.scenarios import list_scenarios
+    from repro.scenarios.matrix import matrix_manifest
+
+    names = list(spec.scenarios) if spec.scenarios else list_scenarios()
+    for name in names:
+        _resolve_scenario(name)
+    return matrix_manifest(
+        scenarios=names,
+        perturbations=list(spec.perturbations),
+        samples=spec.samples,
+        fraction=spec.fraction,
+        train=spec.train,
+        verify=spec.verify,
+        seed=spec.seed,
+        budget_scale=spec.budget_scale,
+        train_overrides=spec.train_overrides or None,
+        verify_overrides=spec.verify_overrides or None,
+        engine=spec.engine,
+    )
+
+
+def execute_matrix(
+    spec: MatrixJobSpec,
+    store=None,
+    run_dir=None,
+    say: Callable[[str], None] = _SILENT,
+    force: bool = False,
+    telemetry: Optional[bool] = None,
+    telemetry_source: Optional[str] = None,
+    on_cell=None,
+):
+    """Run the scenario matrix; returns the :class:`ScenarioMatrixReport`.
+
+    Sharded topologies stay on :func:`repro.scenarios.run_scenario_matrix`
+    directly -- a shard is one slice of a run, not a job.
+    """
+
+    from repro.scenarios import run_scenario_matrix
+
+    for name in spec.scenarios:
+        _resolve_scenario(name)
+    return run_scenario_matrix(
+        scenarios=list(spec.scenarios) or None,
+        perturbations=list(spec.perturbations),
+        samples=spec.samples,
+        fraction=spec.fraction,
+        train=spec.train,
+        verify=spec.verify,
+        jobs=spec.jobs,
+        seed=spec.seed,
+        budget_scale=spec.budget_scale,
+        train_overrides=spec.train_overrides or None,
+        verify_overrides=spec.verify_overrides or None,
+        engine=spec.engine,
+        progress=say if say is not _SILENT else None,
+        store=store,
+        run_dir=run_dir,
+        force=force,
+        telemetry=telemetry,
+        telemetry_source=telemetry_source,
+    )
+
+
+def matrix_payload(report) -> Tuple[Dict, bool]:
+    """JSON-able matrix outcome + job-level cacheability.
+
+    Store-backed rows carry no timings, so a completed (``status == "ok"``)
+    report serialises identically forever; anything else reruns.
+    """
+
+    payload = {
+        "status": report.status,
+        "scenarios": list(report.scenarios),
+        "num_cells": report.num_cells,
+        "rows": list(report.rows),
+    }
+    return payload, report.status == "ok"
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+
+def resolve_job(spec: JobSpec) -> Dict:
+    """The spec's resolved config -- the dictionary its digest is taken over.
+
+    Execution context (run directory, worker counts, output paths, CSV
+    destinations) is deliberately excluded: two submissions that compute
+    the same thing must share a digest wherever they run.
+    """
+
+    if isinstance(spec, TrainJobSpec):
+        return _resolve_train(spec)[3]
+    if isinstance(spec, EvaluateJobSpec):
+        return _resolve_evaluate(spec)
+    if isinstance(spec, VerifySweepJobSpec):
+        return _resolve_verify_sweep(spec)
+    if isinstance(spec, MatrixJobSpec):
+        return _resolve_matrix(spec)
+    raise JobSpecError(f"cannot resolve job kind {spec.TYPE!r}")
+
+
+def job_key(store, spec: JobSpec):
+    """The run-store key identifying this job (stage ``"job"``)."""
+
+    return store.key("job", {"kind": spec.TYPE, "config": resolve_job(spec)})
+
+
+def execute_job(
+    spec: JobSpec,
+    store=None,
+    run_dir=None,
+    say: Callable[[str], None] = _SILENT,
+    force: bool = False,
+    telemetry_source: Optional[str] = None,
+) -> Tuple[Dict, bool]:
+    """Execute any job spec; returns ``(payload, cacheable)``.
+
+    This is the daemon's worker entry point: the payload is the JSON the
+    service stores/serves, and ``cacheable`` says whether it may be
+    recorded under the job digest for future single-flight replays.
+    """
+
+    if isinstance(spec, TrainJobSpec):
+        # Train identity excludes spec.output, so the per-stage "train"
+        # entry already dedupes; restored outcomes cache like fresh ones.
+        payload = execute_train(spec, store=store, say=say, force=force)
+        payload = dict(payload)
+        payload.pop("restored", None)
+        return payload, True
+    if isinstance(spec, EvaluateJobSpec):
+        return execute_evaluate(spec, say=say), True
+    if isinstance(spec, VerifySweepJobSpec):
+        report = execute_verify_sweep(spec, store=store, say=say, force=force)
+        return sweep_payload(spec, report)
+    if isinstance(spec, MatrixJobSpec):
+        report = execute_matrix(
+            spec,
+            store=store,
+            run_dir=run_dir,
+            say=say,
+            force=force,
+            telemetry_source=telemetry_source,
+        )
+        return matrix_payload(report)
+    raise JobSpecError(f"cannot execute job kind {spec.TYPE!r}")

@@ -1018,6 +1018,7 @@ def run_scenario_matrix(
     shard_time_budget: Optional[float] = None,
     offline: bool = False,
     telemetry: Optional[bool] = None,
+    telemetry_source: Optional[str] = None,
 ) -> ScenarioMatrixReport:
     """Run the ``(scenario x controller x perturbation)`` matrix.
 
@@ -1069,7 +1070,10 @@ def run_scenario_matrix(
     it explicitly, and ``True`` without a store (or with ``offline=True``,
     which executes nothing) is an error.  The log never influences rows,
     store entries or CSVs -- it is written beside them for ``repro runs
-    watch`` / ``repro runs stats``.
+    watch`` / ``repro runs stats``.  ``telemetry_source`` overrides the
+    event-log file name (default ``"main"`` / ``"shard-i-of-N"``); the job
+    daemon uses it to give each job running against one run directory its
+    own stream.
     """
 
     names = list(scenarios) if scenarios is not None else list_scenarios()
@@ -1119,7 +1123,12 @@ def run_scenario_matrix(
         )
 
     if telemetry:
-        source = "main" if shard is None else f"shard-{shard.index}-of-{shard.count}"
+        # telemetry_source lets a host running many matrices against one run
+        # directory (the job daemon) give each its own event-log file; the
+        # default names are what `runs watch` users expect from the CLI.
+        source = telemetry_source or (
+            "main" if shard is None else f"shard-{shard.index}-of-{shard.count}"
+        )
         tele = TelemetryEmitter(store.root, source=source)
     else:
         tele = NullTelemetryEmitter()

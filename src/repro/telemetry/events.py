@@ -7,6 +7,12 @@ checked on construction, so a malformed event fails loudly at the emitter
 instead of silently corrupting a log that a live ``repro runs watch`` or a
 cross-run ``repro runs stats`` aggregation reads later.
 
+The generic machinery (field validation, strict/tolerant ``from_json``,
+registry routing) lives in :mod:`repro.utils.messages` and is shared with
+the job-service API (:mod:`repro.jobs.messages`); this module owns the
+telemetry *family*: the event classes, their registry, and the
+:class:`UnknownEvent` wrapper.
+
 Wire format
 -----------
 One JSON object per event::
@@ -29,10 +35,16 @@ bumps ``SCHEMA_VERSION``.
 
 from __future__ import annotations
 
-import json
-import typing
-from dataclasses import MISSING, dataclass, field, fields
-from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Mapping, Optional, Tuple, Type
+
+from repro.utils.messages import (
+    MessageValidationError,
+    TypedMessage,
+    decode_message_line,
+    parse_message,
+    register_message,
+)
 
 __all__ = [
     "EventValidationError",
@@ -56,71 +68,20 @@ __all__ = [
 #: The cell kinds the matrix runner produces (one per pipeline stage).
 CELL_KINDS = ("train", "evaluate", "verify")
 
-
-class EventValidationError(ValueError):
-    """A telemetry event payload failed its class's field validation."""
-
+#: Historical name for the shared validation error -- the *same* class, so
+#: ``except EventValidationError`` and ``except MessageValidationError``
+#: are interchangeable across the telemetry and job-service families.
+EventValidationError = MessageValidationError
 
 #: Wire ``type`` name -> event class, populated by :func:`register_event`.
 EVENT_REGISTRY: Dict[str, Type["TelemetryEvent"]] = {}
 
-
-def register_event(cls: Type["TelemetryEvent"]) -> Type["TelemetryEvent"]:
-    """Class decorator adding ``cls`` to :data:`EVENT_REGISTRY` by ``TYPE``."""
-
-    if not cls.TYPE:
-        raise ValueError(f"{cls.__name__} declares no TYPE wire name")
-    if cls.TYPE in EVENT_REGISTRY:
-        raise ValueError(f"duplicate event type {cls.TYPE!r}")
-    EVENT_REGISTRY[cls.TYPE] = cls
-    return cls
-
-
-_HINT_CACHE: Dict[type, Dict[str, Any]] = {}
-
-
-def _type_hints(cls: type) -> Dict[str, Any]:
-    if cls not in _HINT_CACHE:
-        _HINT_CACHE[cls] = typing.get_type_hints(cls)
-    return _HINT_CACHE[cls]
-
-
-def _checked(cls_name: str, name: str, value, annotation):
-    """Validate ``value`` against ``annotation``; ints promote to floats."""
-
-    origin = typing.get_origin(annotation)
-    if origin is typing.Union:
-        arms = typing.get_args(annotation)
-        if value is None and type(None) in arms:
-            return None
-        inner = [arm for arm in arms if arm is not type(None)]
-        return _checked(cls_name, name, value, inner[0])
-    if annotation is float:
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise EventValidationError(f"{cls_name}.{name} must be a number, got {value!r}")
-        return float(value)
-    if annotation is int:
-        if isinstance(value, bool) or not isinstance(value, int):
-            raise EventValidationError(f"{cls_name}.{name} must be an integer, got {value!r}")
-        return value
-    if annotation is bool:
-        if not isinstance(value, bool):
-            raise EventValidationError(f"{cls_name}.{name} must be a boolean, got {value!r}")
-        return value
-    if annotation is str:
-        if not isinstance(value, str):
-            raise EventValidationError(f"{cls_name}.{name} must be a string, got {value!r}")
-        return value
-    if origin in (tuple, Tuple):
-        if isinstance(value, str) or not isinstance(value, (list, tuple)):
-            raise EventValidationError(f"{cls_name}.{name} must be a sequence, got {value!r}")
-        item_type = typing.get_args(annotation)[0]
-        return tuple(_checked(cls_name, name, item, item_type) for item in value)
-    return value  # Dict / Any fields (UnknownEvent payload) pass through
+#: Class decorator adding events to :data:`EVENT_REGISTRY` by ``TYPE``.
+register_event = register_message(EVENT_REGISTRY)
 
 
 @dataclass(frozen=True)
-class TelemetryEvent:
+class TelemetryEvent(TypedMessage):
     """Base event: a timestamp plus the emitting source ("shard") label.
 
     ``ts`` is unix seconds stamped by the emitter; ``shard`` names the
@@ -130,57 +91,6 @@ class TelemetryEvent:
 
     ts: float
     shard: str
-
-    TYPE: ClassVar[str] = ""
-    SCHEMA_VERSION: ClassVar[int] = 1
-
-    def __post_init__(self) -> None:
-        hints = _type_hints(type(self))
-        for spec in fields(self):
-            value = _checked(type(self).__name__, spec.name, getattr(self, spec.name), hints[spec.name])
-            object.__setattr__(self, spec.name, value)
-        self._validate()
-
-    def _validate(self) -> None:
-        """Per-class semantic checks (field types are already enforced)."""
-
-    def to_json(self) -> Dict:
-        """The wire payload: ``type`` and ``version`` first, fields in order."""
-
-        payload: Dict = {"type": self.TYPE, "version": self.SCHEMA_VERSION}
-        for spec in fields(self):
-            value = getattr(self, spec.name)
-            payload[spec.name] = list(value) if isinstance(value, tuple) else value
-        return payload
-
-    def to_line(self) -> str:
-        """One compact JSON line (no newline); the event-log unit of append."""
-
-        return json.dumps(self.to_json(), separators=(",", ":"))
-
-    @classmethod
-    def from_json(cls, payload: Mapping, strict: bool = True) -> "TelemetryEvent":
-        """Rebuild an event from its wire payload.
-
-        ``strict`` (same-version reads) rejects unexpected keys; the
-        tolerant mode (newer-version reads) ignores them and falls back to
-        field defaults, so old readers survive additive schema growth.
-        """
-
-        known = {spec.name for spec in fields(cls)}
-        if strict:
-            extras = set(payload) - known - {"type", "version"}
-            if extras:
-                raise EventValidationError(
-                    f"{cls.TYPE} v{cls.SCHEMA_VERSION}: unexpected field(s) {sorted(extras)}"
-                )
-        kwargs = {}
-        for spec in fields(cls):
-            if spec.name in payload:
-                kwargs[spec.name] = payload[spec.name]
-            elif spec.default is MISSING and spec.default_factory is MISSING:
-                raise EventValidationError(f"{cls.TYPE}: missing required field {spec.name!r}")
-        return cls(**kwargs)
 
 
 def _require_counts(event: TelemetryEvent, *names: str) -> None:
@@ -401,18 +311,7 @@ def parse_event(payload: Mapping) -> TelemetryEvent:
     same-version malformed payload raises :class:`EventValidationError`.
     """
 
-    if not isinstance(payload, Mapping):
-        raise EventValidationError(f"event payload must be an object, got {type(payload).__name__}")
-    version = payload.get("version")
-    cls = EVENT_REGISTRY.get(payload.get("type"))
-    if cls is None or not isinstance(version, int) or isinstance(version, bool) or version < 1:
-        return UnknownEvent.wrap(payload)
-    if version > cls.SCHEMA_VERSION:
-        try:
-            return cls.from_json(payload, strict=False)
-        except EventValidationError:
-            return UnknownEvent.wrap(payload)
-    return cls.from_json(payload)
+    return parse_message(payload, EVENT_REGISTRY, UnknownEvent)
 
 
 def decode_line(line) -> Optional[TelemetryEvent]:
@@ -424,21 +323,4 @@ def decode_line(line) -> Optional[TelemetryEvent]:
     line.
     """
 
-    if isinstance(line, bytes):
-        try:
-            line = line.decode("utf-8")
-        except UnicodeDecodeError:
-            return None
-    line = line.strip()
-    if not line:
-        return None
-    try:
-        payload = json.loads(line)
-    except json.JSONDecodeError:
-        return None
-    if not isinstance(payload, dict):
-        return None
-    try:
-        return parse_event(payload)
-    except EventValidationError:
-        return UnknownEvent.wrap(payload)
+    return decode_message_line(line, EVENT_REGISTRY, UnknownEvent)

@@ -1,0 +1,287 @@
+"""Single-flight dedupe: identical submissions execute exactly once.
+
+The daemon's central promise (see ``docs/service.md``): a job's identity
+is its resolved-config digest, and
+
+* concurrent identical submissions coalesce -- one primary executes, the
+  rest ``attach`` and resolve with its result;
+* a digest already in the run store is served ``cached`` without
+  executing anything;
+* distinct digests never coalesce;
+* the end-to-end acceptance: three concurrent clients submitting the same
+  matrix against one run directory produce telemetry showing every cell
+  computed exactly once, and the store then replays the byte-identical
+  single-process ``repro scenarios run`` CSV.
+
+Execution is gated through fork-inherited monkeypatches plus file
+barriers, so the races are deterministic, not timing-dependent.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+import repro.jobs.runner as runner_module
+from repro.jobs.client import RemoteError, ServiceClient
+from repro.jobs.messages import EvaluateJobSpec, MatrixJobSpec
+from repro.jobs.service import JobServer, JobService
+
+# Default perturbation set, matching what `repro scenarios run` enumerates:
+# 2 expert controllers x 3 regimes = 6 cells.
+MATRIX_SPEC = MatrixJobSpec(scenarios=("pendulum",), samples=4,
+                            train=False, verify=False, seed=0)
+MATRIX_NUM_CELLS = 6
+
+
+def _wait_until(predicate, timeout=120.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.fixture
+def saved_controller_dir(tmp_path):
+    from repro.nn import MLP
+    from repro.nn.serialization import save_state_dict
+
+    directory = tmp_path / "ctrl"
+    directory.mkdir()
+    save_state_dict(MLP(2, 1, hidden_sizes=(4,)), directory / "kappa_star.npz")
+    (directory / "record.json").write_text(
+        json.dumps({"controllers": {"kappa_star": "kappa_star.npz"}})
+    )
+    return directory
+
+
+@pytest.fixture
+def gated_execution(tmp_path, monkeypatch):
+    """Patch ``execute_job`` with a barrier-gated stub (fork-inherited).
+
+    Each actual execution drops a marker file before blocking on the
+    ``release`` file, so tests can count executions and control exactly
+    when the primary finishes.
+    """
+
+    import os
+
+    calls_dir = tmp_path / "calls"
+    calls_dir.mkdir()
+    release = tmp_path / "release"
+
+    def gated_execute_job(spec, store=None, run_dir=None, say=None, force=False,
+                          telemetry_source=None):
+        marker = calls_dir / f"pid-{os.getpid()}"
+        marker.write_text(spec.to_line())
+        while not release.exists():
+            time.sleep(0.01)
+        return {"echo": spec.TYPE, "samples": getattr(spec, "samples", 0)}, True
+
+    monkeypatch.setattr(runner_module, "execute_job", gated_execute_job)
+
+    class Gate:
+        def executions(self):
+            return sorted(calls_dir.iterdir())
+
+        def open(self):
+            release.write_text("go")
+
+    gate = Gate()
+    yield gate
+    # Always release at teardown: a failing assertion must not leave forked
+    # workers spinning (multiprocessing joins non-daemon children at exit).
+    gate.open()
+
+
+class TestSingleFlight:
+    def test_identical_submissions_coalesce_onto_one_execution(
+        self, tmp_path, gated_execution, saved_controller_dir
+    ):
+        service = JobService(tmp_path / "run", workers=4)
+        payload = EvaluateJobSpec(
+            system="pendulum", controller_dir=str(saved_controller_dir), samples=8
+        ).to_json()
+
+        primary, _ = service.submit(payload)
+        _wait_until(lambda: len(gated_execution.executions()) == 1, message="primary start")
+        followers = [service.submit(payload)[0] for _ in range(2)]
+        assert [view.state for view in followers] == ["attached", "attached"]
+        assert {view.attached_to for view in followers} == {primary.job_id}
+
+        gated_execution.open()
+        _wait_until(
+            lambda: service.status(primary.job_id)[0].state == "done", message="primary done"
+        )
+        for follower in followers:
+            view, result = service.status(follower.job_id)
+            assert view.state == "done"
+            assert result == {"echo": "evaluate", "samples": 8}
+        assert len(gated_execution.executions()) == 1, "exactly one worker ever ran"
+
+        # The digest is now cached: a fresh submission never executes.
+        view, result = service.submit(payload)
+        assert view.state == "cached"
+        assert result == {"echo": "evaluate", "samples": 8}
+        assert len(gated_execution.executions()) == 1
+        service.close()
+
+    def test_distinct_digests_never_coalesce(
+        self, tmp_path, gated_execution, saved_controller_dir
+    ):
+        service = JobService(tmp_path / "run", workers=4)
+        a = EvaluateJobSpec(
+            system="pendulum", controller_dir=str(saved_controller_dir), samples=8
+        ).to_json()
+        b = EvaluateJobSpec(
+            system="pendulum", controller_dir=str(saved_controller_dir), samples=16
+        ).to_json()
+
+        view_a, _ = service.submit(a)
+        view_b, _ = service.submit(b)
+        assert view_a.digest != view_b.digest
+        assert view_b.state in ("queued", "running")
+        assert view_b.attached_to == ""
+        _wait_until(lambda: len(gated_execution.executions()) == 2, message="both to start")
+        gated_execution.open()
+        for job_id in (view_a.job_id, view_b.job_id):
+            _wait_until(
+                lambda: service.status(job_id)[0].state == "done", message=f"{job_id} done"
+            )
+        assert len(gated_execution.executions()) == 2
+        service.close()
+
+    def test_force_bypasses_both_cache_and_coalescing(
+        self, tmp_path, gated_execution, saved_controller_dir
+    ):
+        service = JobService(tmp_path / "run", workers=4)
+        payload = EvaluateJobSpec(
+            system="pendulum", controller_dir=str(saved_controller_dir), samples=8
+        ).to_json()
+        first, _ = service.submit(payload)
+        _wait_until(lambda: len(gated_execution.executions()) == 1, message="primary start")
+        forced, _ = service.submit(payload, force=True)
+        assert forced.state in ("queued", "running")
+        assert forced.attached_to == ""
+        _wait_until(lambda: len(gated_execution.executions()) == 2, message="forced start")
+        gated_execution.open()
+        for job_id in (first.job_id, forced.job_id):
+            _wait_until(lambda: service.status(job_id)[0].state == "done", message="done")
+        service.close()
+
+    def test_racing_http_clients_agree_on_one_primary(
+        self, tmp_path, gated_execution, saved_controller_dir
+    ):
+        server = JobServer(tmp_path / "run", workers=4).start()
+        _wait_until(lambda: server.address[1] != 0, message="server bind")
+        host, port = server.address
+        payload = EvaluateJobSpec(
+            system="pendulum", controller_dir=str(saved_controller_dir), samples=8
+        ).to_json()
+
+        views = []
+        lock = threading.Lock()
+
+        def submit():
+            reply = ServiceClient(host, port).submit(payload)
+            with lock:
+                views.append(reply.view())
+
+        threads = [threading.Thread(target=submit) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert len(views) == 3
+        primaries = [view for view in views if view.attached_to == ""]
+        attached = [view for view in views if view.attached_to != ""]
+        assert len(primaries) == 1, "exactly one racing client becomes the primary"
+        assert {view.attached_to for view in attached} == {primaries[0].job_id}
+        # The submit replies race the forked worker's start-up: wait for the
+        # primary's execution marker rather than asserting it instantly.
+        _wait_until(lambda: len(gated_execution.executions()) == 1, message="primary start")
+
+        gated_execution.open()
+        client = ServiceClient(host, port)
+        for view in views:
+            assert client.wait(view.job_id, timeout=120).view().state == "done"
+        assert len(gated_execution.executions()) == 1, "exactly one worker ever ran"
+        client.shutdown()
+        server.join(15)
+
+
+class TestEndToEndAcceptance:
+    """3 concurrent clients, one run dir: every cell computed exactly once."""
+
+    def test_concurrent_matrix_submissions_share_one_computation(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.telemetry import fleet_stats
+
+        run_dir = tmp_path / "run"
+        server = JobServer(run_dir, workers=4).start()
+        _wait_until(lambda: server.address[1] != 0, message="server bind")
+        host, port = server.address
+        payload = MATRIX_SPEC.to_json()
+
+        replies = []
+        lock = threading.Lock()
+
+        def submit():
+            reply = ServiceClient(host, port).submit(payload)
+            with lock:
+                replies.append(reply)
+
+        threads = [threading.Thread(target=submit) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert len(replies) == 3
+
+        client = ServiceClient(host, port)
+        results = [
+            client.wait(reply.view().job_id, timeout=120).result for reply in replies
+        ]
+        assert all(result == results[0] for result in results), (
+            "attached submissions resolve with the primary's result"
+        )
+        assert results[0]["num_cells"] == MATRIX_NUM_CELLS
+
+        # Telemetry accounting parity: the one primary execution computed
+        # every cell exactly once; the attached submissions computed none.
+        stats = fleet_stats([run_dir])
+        assert stats["cells_computed"] == MATRIX_NUM_CELLS
+        assert stats["cells_cached"] == 0
+        assert stats["all_finished"]
+
+        # The job's event log is streamable per job id, and attached jobs
+        # replay their primary's stream.
+        primary = next(r.view() for r in replies if r.view().attached_to == "")
+        attached = next(r.view() for r in replies if r.view().attached_to != "")
+        primary_events = client.events(primary.job_id)
+        assert primary_events.done and primary_events.lines
+        assert client.events(attached.job_id).lines == primary_events.lines
+
+        client.shutdown()
+        server.join(15)
+
+        # Byte-identity: replaying the daemon's store through the CLI
+        # serves every cell cached and writes the same CSV a fresh
+        # single-process `repro scenarios run` does.
+        replay_csv = tmp_path / "replay.csv"
+        code = main(["scenarios", "run", "--scenario", "pendulum", "--samples", "4",
+                     "--no-train", "--no-verify", "--run-dir", str(run_dir),
+                     "--csv", str(replay_csv)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"{MATRIX_NUM_CELLS} cell(s) served from the store, 0 computed" in out
+
+        fresh_csv = tmp_path / "fresh.csv"
+        code = main(["scenarios", "run", "--scenario", "pendulum", "--samples", "4",
+                     "--no-train", "--no-verify", "--run-dir", str(tmp_path / "fresh-run"),
+                     "--csv", str(fresh_csv)])
+        assert code == 0
+        assert replay_csv.read_bytes() == fresh_csv.read_bytes()
