@@ -16,7 +16,9 @@
 # `scenario-smoke` runs the fast train->evaluate->verify cell for every
 # registered scenario (also collected by `test` via the scenario_smoke
 # pytest marker); `bench` regenerates the paper's tables/figures at the
-# quick scale; `verify-bench` re-times the scalar-vs-batched verification
+# quick scale; `bench-json` runs the `repro bench` perf-regression
+# harness and writes the machine-readable BENCH_<date>.json report
+# (see docs/performance.md); `verify-bench` re-times the scalar-vs-batched verification
 # engines and refreshes the committed CSV; `train-bench` does the same for
 # the scalar-vs-vectorized training stages; `lint` is a fast syntax gate
 # (no third-party linter is vendored into the image).
@@ -24,7 +26,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-cov shard-smoke watch-smoke serve-smoke scenario-smoke bench verify-bench train-bench lint
+.PHONY: test test-fast test-cov shard-smoke watch-smoke serve-smoke scenario-smoke bench bench-json verify-bench train-bench lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +42,14 @@ test-cov:
 	$(PYTHON) tools/check_coverage.py --floor 80 --target src/repro/jobs \
 		tests/test_jobs_messages.py tests/test_jobs_runner.py \
 		tests/test_service_dedupe.py tests/test_service_faults.py
+	$(PYTHON) tools/check_coverage.py --floor 80 --target src/repro/perf \
+		tests/test_bench_smoke.py
+	$(PYTHON) tools/check_coverage.py --floor 80 --target src/repro/utils/buffers.py \
+		tests/test_utils_buffers.py
+	$(PYTHON) tools/check_coverage.py --floor 80 --target src/repro/utils/dtypes.py \
+		tests/test_float32_mode.py
+	$(PYTHON) tools/check_coverage.py --floor 80 --target src/repro/utils/profiling.py \
+		tests/test_utils_buffers.py
 
 SHARD_SMOKE_DIR ?= runs/shard-smoke
 shard-smoke:
@@ -81,6 +91,10 @@ scenario-smoke:
 
 bench:
 	REPRO_SCALE=$${REPRO_SCALE:-quick} $(PYTHON) -m pytest -q benchmarks
+
+BENCH_JSON_DIR ?= runs/bench
+bench-json:
+	$(PYTHON) -m repro bench --output $(BENCH_JSON_DIR) --json
 
 verify-bench:
 	REPRO_RECORD=1 $(PYTHON) -m pytest -q -s benchmarks/test_verification_speed.py

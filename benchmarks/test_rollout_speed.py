@@ -6,8 +6,10 @@ suite.  This harness times the same ``N``-trajectory evaluation done two
 ways -- ``N`` scalar :func:`repro.systems.rollout` calls versus one
 :func:`repro.systems.rollout_batch` call -- records the ratio to
 ``results/rollout_speed.csv`` so future PRs can track the trajectory, and
-asserts the batched engine keeps at least the 3x advantage this PR landed
-with (observed ~10-40x depending on the plant and controller).
+asserts the batched engine keeps at least the floor from
+``repro.perf.FLOORS`` (ratcheted from the original 3x to 5x once the
+rollout fast path landed; observed ~10-40x depending on the plant and
+controller).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import pytest
 
 from repro.experts import NeuralController
 from repro.nn.network import MLP
+from repro.perf import FLOORS
 from repro.systems import make_system
 from repro.systems.simulation import rollout, rollout_batch, sample_initial_states
 
@@ -28,7 +31,8 @@ OUTPUT_DIR = Path(__file__).resolve().parent / "results"
 
 BATCH = 128
 REPEATS = 3
-MIN_SPEEDUP = 3.0
+#: Centralized, ratcheted floor -- see repro.perf.FLOORS.
+MIN_SPEEDUP = FLOORS["rollout"]
 
 
 def _time(function) -> float:

@@ -14,8 +14,8 @@ Amdahl).  This harness therefore:
   ``batch_size=1``, the scalar flow preserved as the bit-identical
   batch-of-one (pinned by ``tests/test_training_determinism.py``), versus
   the CPU-derived vectorized widths -- and asserts the vectorized path
-  keeps at least the 3x advantage this PR landed with (observed ~5-9x on
-  one core);
+  keeps at least the 3x floor from ``repro.perf.FLOORS`` (observed
+  ~5-9x on one core);
 * times the **full pipeline** (mixing + dataset + robust distillation) at
   both widths and records it to ``results/training_speed.csv`` as context
   (no floor: the SGD share is identical in both arms).
@@ -35,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import DistillationConfig, MixingConfig
+from repro.perf import FLOORS
 from repro.core.distillation import RobustDistiller, collect_distillation_dataset
 from repro.core.mixing import MixingTrainer
 from repro.experts import make_default_experts
@@ -45,7 +46,8 @@ from repro.utils.seeding import set_global_seed
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "results"
 
-MIN_SPEEDUP = 3.0
+#: Centralized floor -- see repro.perf.FLOORS.
+MIN_SPEEDUP = FLOORS["training"]
 COLLECT_STEPS = 2048
 DATASET_SIZE = 2500
 DISTILL_EPOCHS = 30

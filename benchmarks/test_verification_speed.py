@@ -12,8 +12,9 @@ benchmarks can afford to verify.  This harness runs the same 2-controller x
 * records the per-job and total timings to
   ``results/verification_speed.csv`` so future PRs can track the
   trajectory;
-* asserts the batched engine keeps at least the 3x end-to-end advantage
-  this PR landed with (observed ~8-11x on one core).
+* asserts the batched engine keeps at least the floor from
+  ``repro.perf.FLOORS`` (ratcheted from the original 3x to 4x once the
+  fixed-block kernels landed; observed ~8-11x on one core).
 
 The baseline is *conservative*: ``engine="scalar"`` keeps the historical
 per-box/per-cell orchestration but runs it through the shared fixed-block
@@ -38,6 +39,7 @@ import numpy as np
 import pytest
 
 from repro.autodiff import Tensor, functional
+from repro.perf import FLOORS
 from repro.experts.lqr import LQRController
 from repro.nn.network import MLP
 from repro.nn.optim import Adam
@@ -46,7 +48,8 @@ from repro.verification.sweep import SweepJob, VerificationSweep
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "results"
 
-MIN_SPEEDUP = 3.0
+#: Centralized, ratcheted floor -- see repro.perf.FLOORS.
+MIN_SPEEDUP = FLOORS["verification"]
 
 #: Deterministic summary fields both engines must reproduce exactly.
 DETERMINISTIC_KEYS = (

@@ -29,6 +29,7 @@ from repro.core.mixing import MixedController, MixingTrainer
 from repro.experts.base import Controller, NeuralController
 from repro.systems.base import ControlSystem
 from repro.utils.logging import TrainingLogger
+from repro.utils.profiling import StageTimer
 from repro.utils.seeding import RngLike, get_rng
 
 
@@ -126,22 +127,14 @@ class CocktailPipeline:
     def run(self, include_direct_baseline: bool = True) -> CocktailResult:
         """Execute the full pipeline and return every controller of Table I."""
 
-        import time
-
         self._distillation_loggers: Dict[str, TrainingLogger] = {}
-        stage_seconds: Dict[str, float] = {}
+        timer = StageTimer()
 
-        def timed(stage: str, fn):
-            start = time.perf_counter()
-            produced = fn()
-            stage_seconds[stage] = time.perf_counter() - start
-            return produced
-
-        mixed = timed("mixing", self.train_mixing)
-        dataset = timed("dataset", lambda: self.collect_dataset(mixed))
-        student = timed("robust_distillation", lambda: self.distill(dataset, robust=True))
+        mixed = timer.timed("mixing", self.train_mixing)
+        dataset = timer.timed("dataset", lambda: self.collect_dataset(mixed))
+        student = timer.timed("robust_distillation", lambda: self.distill(dataset, robust=True))
         direct_student = (
-            timed("direct_distillation", lambda: self.distill(dataset, robust=False))
+            timer.timed("direct_distillation", lambda: self.distill(dataset, robust=False))
             if include_direct_baseline
             else None
         )
@@ -157,5 +150,5 @@ class CocktailPipeline:
             dataset=dataset,
             loggers=loggers,
             config=self.config,
-            stage_seconds=stage_seconds,
+            stage_seconds=timer.as_dict(),
         )

@@ -1,0 +1,39 @@
+"""Performance-regression harness: floors, measurements and reports.
+
+One place owns the repo's performance contract:
+
+* :data:`FLOORS` -- the minimum batched-vs-scalar speedup each hot path
+  must keep.  The benchmark suite (``benchmarks/test_*_speed.py``) imports
+  its pass/fail thresholds from here, so ratcheting a floor is a one-line
+  change that the benchmarks and ``repro bench`` both see.
+* :func:`run_bench` -- re-measures the hot paths at a reduced scale with
+  the same scalar-vs-batched protocol as the benchmarks.
+* :func:`write_bench_report` -- emits the versioned, machine-readable
+  ``BENCH_<date>.json`` consumed by CI and tracked across PRs.
+"""
+
+from repro.perf.bench import (
+    BASELINE_CSVS,
+    BENCH_PATHS,
+    FLOORS,
+    BenchReport,
+    PathResult,
+    baseline_speedups,
+    results_dir,
+    run_bench,
+)
+from repro.perf.report import REPORT_VERSION, bench_payload, write_bench_report
+
+__all__ = [
+    "BASELINE_CSVS",
+    "BENCH_PATHS",
+    "FLOORS",
+    "BenchReport",
+    "PathResult",
+    "REPORT_VERSION",
+    "baseline_speedups",
+    "bench_payload",
+    "results_dir",
+    "run_bench",
+    "write_bench_report",
+]

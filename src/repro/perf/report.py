@@ -1,0 +1,51 @@
+"""Versioned machine-readable bench reports (``BENCH_<date>.json``).
+
+The JSON schema is versioned the same way the telemetry event log is: a
+top-level ``"version"`` integer that bumps on any incompatible change, so
+CI tooling that parses a report can refuse newer schemas loudly instead of
+misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date as _date
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.perf.bench import BenchReport, FLOORS
+
+#: Schema version of the emitted JSON; bump on incompatible changes.
+REPORT_VERSION = 1
+
+
+def bench_payload(report: BenchReport, date: Optional[str] = None) -> Dict:
+    """The JSON-serialisable document for one bench run."""
+
+    return {
+        "version": REPORT_VERSION,
+        "date": date if date is not None else _date.today().isoformat(),
+        "floors": dict(FLOORS),
+        "passed": report.passed,
+        "elapsed_seconds": round(report.elapsed_seconds, 3),
+        "paths": [result.as_dict() for result in report.results],
+    }
+
+
+def write_bench_report(
+    report: BenchReport,
+    directory: Union[str, Path] = ".",
+    date: Optional[str] = None,
+) -> Path:
+    """Write ``BENCH_<date>.json`` into ``directory`` and return its path.
+
+    ``date`` defaults to today (ISO format); passing it explicitly makes
+    the filename reproducible in tests.
+    """
+
+    payload = bench_payload(report, date=date)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{payload['date']}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -42,6 +42,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.systems.base import ControlSystem
+from repro.utils.dtypes import resolve_training_dtype
 from repro.utils.seeding import RngLike, get_rng
 
 #: A controller maps the observed state to a (possibly unclipped) control.
@@ -226,6 +227,7 @@ def rollout_batch(
     rng: RngLike = None,
     stop_on_violation: bool = True,
     record_states: bool = True,
+    dtype: "str | np.dtype" = "float64",
 ) -> TrajectoryBatch:
     """Simulate ``N`` closed loops in lockstep from the rows of ``initial_states``.
 
@@ -234,6 +236,12 @@ def rollout_batch(
     every still-active trajectory; with ``stop_on_violation`` (the default)
     trajectories leave the active set at their first unsafe state, so a batch
     whose members all fail early terminates early too.
+
+    While every trajectory is still active the loop runs a *fast path* with
+    no active-set index: no ``flatnonzero``, no fancy-index gather of the
+    current states and direct (instead of freeze-then-overwrite) history
+    writes.  The arithmetic is identical, so results match the masked path
+    value for value; the masked path takes over at the first violation.
 
     With ``N = 1`` this consumes the random stream exactly like the
     historical scalar :func:`rollout` (perturbation draw, then disturbance
@@ -269,15 +277,26 @@ def rollout_batch(
         not stored (the returned arrays are empty); the scalar summaries
         (``safe``, ``steps``, ``energy``, ``violation_step``) are unaffected.
         Metric sweeps use this to avoid allocating ``(N, T, dim)`` arrays.
+    dtype:
+        Precision of the state/observation/control arrays, ``"float64"``
+        (the default, bit-identical to the historical engine) or
+        ``"float32"`` -- a training-side option that halves history memory
+        traffic (controllers and plants still compute through their own
+        precision; values are cast at each step boundary).  Verification
+        paths reject float32, see :mod:`repro.utils.dtypes`.
     """
 
     generator = get_rng(rng)
+    dtype = resolve_training_dtype(dtype)
+    native = dtype == np.float64
     horizon = int(horizon) if horizon is not None else system.horizon
     states = np.atleast_2d(np.asarray(initial_states, dtype=np.float64)).copy()
     if states.shape[-1] != system.state_dim:
         raise ValueError(
             f"initial_states have shape {states.shape}, expected (N, {system.state_dim})"
         )
+    if not native:
+        states = states.astype(dtype)
     count = len(states)
 
     initially_safe = system.is_safe_batch(states)
@@ -286,51 +305,88 @@ def rollout_batch(
     energy = np.zeros(count)
     steps = np.zeros(count, dtype=int)
     active = initially_safe.copy() if stop_on_violation else np.ones(count, dtype=bool)
+    all_active = bool(active.all())
 
     if record_states:
-        states_history = np.empty((count, horizon + 1, system.state_dim))
+        states_history = np.empty((count, horizon + 1, system.state_dim), dtype=dtype)
         states_history[:, 0] = states
-        observed_history = np.empty((count, horizon + 1, system.state_dim))
+        observed_history = np.empty((count, horizon + 1, system.state_dim), dtype=dtype)
         observed_history[:, 0] = states
-        controls_history = np.zeros((count, horizon, system.control_dim))
+        controls_history = np.zeros((count, horizon, system.control_dim), dtype=dtype)
 
     executed = 0
     for step in range(horizon):
-        index = np.flatnonzero(active)
-        if index.size == 0:
-            break
+        if all_active:
+            index = None
+            current = states
+        else:
+            index = np.flatnonzero(active)
+            if index.size == 0:
+                break
+            current = states[index]
         executed = step + 1
-        current = states[index]
 
         observations = current
         if perturbation is not None:
             observations = _perturbation_batch(perturbation, current, generator)
+            if not native:
+                observations = observations.astype(dtype, copy=False)
         commands = batch_controls(controller, observations)
         applied = system.clip_control_batch(commands)
-        energy[index] += np.sum(np.abs(applied), axis=1)
-        steps[index] += 1
+        if not native:
+            applied = np.asarray(applied, dtype=dtype)
 
-        disturbances = system.disturbance.sample_batch(generator, count=index.size)
+        disturbances = system.disturbance.sample_batch(generator, count=len(current))
         next_states = system.dynamics_batch(current, applied, disturbances)
-        states[index] = next_states
+        if not native:
+            next_states = np.asarray(next_states, dtype=dtype)
+
+        if index is None:
+            energy += np.sum(np.abs(applied), axis=1)
+            steps += 1
+            # Rebinding (not mutating) keeps this step's ``observations`` --
+            # which may alias the previous ``states`` array -- intact until
+            # the history write below.
+            states = next_states
+        else:
+            energy[index] += np.sum(np.abs(applied), axis=1)
+            steps[index] += 1
+            states[index] = next_states
 
         if record_states:
-            # Frozen rows carry their previous value forward so padded slices
-            # stay well-defined; trajectory() trims them away.
-            states_history[:, step + 1] = states_history[:, step]
-            states_history[index, step + 1] = next_states
-            observed_history[:, step + 1] = observed_history[:, step]
-            observed_history[index, step + 1] = observations
-            controls_history[index, step] = applied
+            if index is None:
+                states_history[:, step + 1] = next_states
+                observed_history[:, step + 1] = observations
+                controls_history[:, step] = applied
+            else:
+                # Frozen rows carry their previous value forward so padded
+                # slices stay well-defined; trajectory() trims them away.
+                states_history[:, step + 1] = states_history[:, step]
+                states_history[index, step + 1] = next_states
+                observed_history[:, step + 1] = observed_history[:, step]
+                observed_history[index, step + 1] = observations
+                controls_history[index, step] = applied
 
         now_safe = system.is_safe_batch(next_states)
-        violated = index[~now_safe]
-        if violated.size:
-            safe[violated] = False
-            fresh = violated[violation_step[violated] < 0]
-            violation_step[fresh] = step + 1
-            if stop_on_violation:
-                active[violated] = False
+        if index is None:
+            if not now_safe.all():
+                violated_mask = ~now_safe
+                safe[violated_mask] = False
+                violation_step[violated_mask & (violation_step < 0)] = step + 1
+                if stop_on_violation:
+                    active[violated_mask] = False
+                    all_active = False
+                    # The masked path mutates ``states`` by fancy index, so
+                    # it needs an owned, writable array.
+                    states = np.array(states)
+        else:
+            violated = index[~now_safe]
+            if violated.size:
+                safe[violated] = False
+                fresh = violated[violation_step[violated] < 0]
+                violation_step[fresh] = step + 1
+                if stop_on_violation:
+                    active[violated] = False
 
     if record_states:
         states_out = states_history[:, : executed + 1]

@@ -1,0 +1,86 @@
+"""Reusable scratch-buffer arena for the batched hot-path kernels.
+
+The batched Bernstein / IBP kernels are called thousands of times per
+verification run with identical (or slowly growing) shapes; allocating the
+grid, block and bound temporaries fresh on every call dominates the
+small-batch cost.  :class:`BufferArena` hands out *views* into tag-keyed,
+grow-only flat buffers so each distinct temporary in a kernel is allocated
+once and reused for the rest of the process.
+
+Two rules keep this sound:
+
+* a buffer obtained from :meth:`BufferArena.take` is **transient scratch**:
+  it is valid only until the same tag is requested again, so results that
+  outlive the call (coefficient tensors stored in ``CoefficientCache``, the
+  arrays a caller receives) must be freshly allocated, never arena views;
+* buffers are uninitialised on reuse -- kernels must fully overwrite every
+  element they read (the differential test pack and the Hypothesis suite in
+  ``tests/test_utils_buffers.py`` pin both properties).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["BufferArena", "global_arena"]
+
+
+class BufferArena:
+    """Tag-keyed, grow-only scratch buffers returning reshaped views.
+
+    Each ``(tag, dtype)`` pair owns one flat array that only ever grows;
+    :meth:`take` returns a ``shape``-shaped view of its prefix.  Asking for
+    the same tag twice hands back overlapping memory, so distinct live
+    temporaries within one kernel call must use distinct tags.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, object], np.ndarray] = {}
+
+    def take(self, tag: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A writable ``shape`` view of the ``tag`` buffer (contents arbitrary)."""
+
+        dtype = np.dtype(dtype)
+        size = 1
+        for extent in shape:  # pure-python product: take() sits on hot paths
+            size *= int(extent)
+        key = (tag, dtype)
+        flat = self._buffers.get(key)
+        if flat is None or flat.size < size:
+            flat = np.empty(max(size, 1), dtype=dtype)
+            self._buffers[key] = flat
+        return flat[:size].reshape(shape)
+
+    def zeros(self, tag: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Like :meth:`take` but zero-filled."""
+
+        view = self.take(tag, shape, dtype)
+        view.fill(0)
+        return view
+
+    def owns(self, array: np.ndarray) -> bool:
+        """True when ``array`` is a view into this arena (aliasing checks)."""
+
+        base = array
+        while base.base is not None:
+            base = base.base
+        return any(base is flat for flat in self._buffers.values())
+
+    def nbytes(self) -> int:
+        """Total bytes currently held across all buffers."""
+
+        return sum(flat.nbytes for flat in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every buffer (mostly for tests)."""
+
+        self._buffers.clear()
+
+
+#: Process-wide arena shared by the verification kernels.  Kernel calls are
+#: not re-entrant across threads by design (the whole verification engine is
+#: single-threaded per process; parallelism is process-based), so one shared
+#: arena is safe and maximises reuse.
+global_arena = BufferArena()

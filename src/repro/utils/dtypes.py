@@ -1,0 +1,63 @@
+"""Float-precision policy shared by the training and verification stacks.
+
+The reproduction runs **training-side** numerics (rollout simulation, PPO
+rollout buffers, GAE) in an opt-in reduced precision: ``float32`` halves the
+memory traffic of the ``(N, T, dim)`` history tensors and the rollout
+buffers, and golden-run tests document the tolerance against the float64
+baseline.  **Verification-side** numerics (Bernstein fits, interval bound
+propagation, reachability) are pinned to ``float64``: the soundness story
+rests on bit-identical scalar/batched kernels and committed golden
+enclosures, so a reduced-precision verification run is a configuration
+error, not a speedup -- :func:`require_float64` turns it into an immediate
+``ValueError``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["TRAINING_DTYPES", "resolve_training_dtype", "require_float64"]
+
+DtypeLike = Union[str, type, np.dtype]
+
+#: The training stack supports exactly these precisions.
+TRAINING_DTYPES = ("float32", "float64")
+
+
+def resolve_training_dtype(value: DtypeLike) -> np.dtype:
+    """Validate and canonicalise a training-side dtype selection.
+
+    Accepts the string names ``"float32"``/``"float64"`` (the config-file
+    spelling) as well as the corresponding NumPy types, and returns the
+    ``np.dtype``.  Anything else raises ``ValueError``.
+    """
+
+    if value is None:  # np.dtype(None) silently means float64; demand intent
+        raise ValueError("unsupported training dtype: None")
+    try:
+        dtype = np.dtype(value)
+    except TypeError as error:
+        raise ValueError(f"unsupported training dtype: {value!r}") from error
+    if dtype.name not in TRAINING_DTYPES:
+        raise ValueError(
+            f"unsupported training dtype {dtype.name!r}: expected one of {TRAINING_DTYPES}"
+        )
+    return dtype
+
+
+def require_float64(value: DtypeLike, context: str) -> np.dtype:
+    """Reject any non-float64 dtype on a verification path.
+
+    ``context`` names the offending entry point in the error message, e.g.
+    ``require_float64(dtype, "verify_controller")``.
+    """
+
+    dtype = np.dtype(value)
+    if dtype != np.float64:
+        raise ValueError(
+            f"{context} is a verification path and must run in float64 for soundness; "
+            f"got dtype {dtype.name!r} (float32 mode is training-only)"
+        )
+    return dtype

@@ -40,6 +40,7 @@ from scipy.special import comb
 from repro.nn.lipschitz import network_lipschitz
 from repro.nn.network import MLP
 from repro.systems.sets import Box
+from repro.utils.buffers import global_arena
 from repro.verification.intervals import Interval, apply_row_blocked
 
 FunctionLike = Union[MLP, Callable[[np.ndarray], np.ndarray]]
@@ -106,29 +107,65 @@ def _normalised_degrees(degrees: Union[int, Sequence[int]], dimension: int) -> n
     return degrees
 
 
+def _normalised_box_stack(lows: np.ndarray, highs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``atleast_2d``/``asarray`` normalisation, hoisted to the batch boundary.
+
+    Every batched kernel funnels through this once; the private ``*_into``
+    kernels below assume already-normalised ``(P, dim)`` float64 stacks and
+    skip the per-call coercion that used to run (repeatedly) inside them.
+    """
+
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    return lows, highs
+
+
+def _grid_batch_into(
+    lows: np.ndarray, highs: np.ndarray, degrees: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Fill ``out`` (shape ``(P, G, dim)``) with the stacked coefficient grids.
+
+    Same per-axis ``linspace`` arithmetic as the original stacking
+    implementation.  In ``ij`` meshgrid order, axis ``k``'s column of the
+    flattened grid is its ``degree + 1`` points with the trailing axes'
+    point count as inner repeat and the leading axes' as outer tile -- a
+    pattern a broadcast assignment reproduces directly, with no ``(G, dim)``
+    index table, no per-axis fancy-index temporary and no final ``np.stack``.
+    """
+
+    count = lows.shape[0]
+    dimension = len(degrees)
+    sizes = [int(degree) + 1 for degree in degrees]
+    inner = 1
+    for axis in range(dimension - 1, -1, -1):
+        side = sizes[axis]
+        points = np.linspace(lows[:, axis], highs[:, axis], side, axis=-1)
+        outer = out.shape[1] // (side * inner)
+        view = out.reshape(count, outer, side, inner, dimension)
+        view[:, :, :, :, axis] = points[:, None, :, None]
+        inner *= side
+    return out
+
+
+def _grid_point_count(degrees: np.ndarray) -> int:
+    return int(np.prod([int(degree) + 1 for degree in degrees]))
+
+
 def bernstein_grid_batch(lows: np.ndarray, highs: np.ndarray, degrees: Sequence[int]) -> np.ndarray:
     """Coefficient grids for a ``(P, dim)`` box stack, shape ``(P, G, dim)``.
 
     ``G = prod(degrees + 1)`` points per box, in the same ``ij`` meshgrid
     order (and with the same per-axis ``linspace`` arithmetic) as the
     single-box grid, so row ``p`` reproduces ``Box(lows[p], highs[p])``'s
-    scalar grid exactly.
+    scalar grid exactly.  The returned array is freshly allocated (callers
+    may keep it); the coefficient kernel uses the arena-scratch variant.
     """
 
-    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
-    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    lows, highs = _normalised_box_stack(lows, highs)
     dimension = lows.shape[1]
     degrees = _normalised_degrees(degrees, dimension)
-    axes = [
-        np.linspace(lows[:, axis], highs[:, axis], int(degree) + 1, axis=-1)
-        for axis, degree in enumerate(degrees)
-    ]  # per axis: (P, degree + 1)
-    index_grid = np.stack(
-        np.meshgrid(*[np.arange(int(degree) + 1) for degree in degrees], indexing="ij"), axis=-1
-    ).reshape(-1, dimension)  # (G, dim)
-    return np.stack(
-        [axes[axis][:, index_grid[:, axis]] for axis in range(dimension)], axis=-1
-    )  # (P, G, dim)
+    out = np.empty((lows.shape[0], _grid_point_count(degrees), dimension))
+    return _grid_batch_into(lows, highs, degrees, out)
 
 
 def _evaluate_function_batch(function: FunctionLike, points: np.ndarray) -> np.ndarray:
@@ -140,7 +177,10 @@ def _evaluate_function_batch(function: FunctionLike, points: np.ndarray) -> np.n
     """
 
     if isinstance(function, MLP):
-        return np.atleast_2d(apply_row_blocked(function.predict, points))
+        # predict_block is bit-identical to predict on 2-D blocks but reuses
+        # per-layer buffers; apply_row_blocked copies each block out of the
+        # scratch before the next block overwrites it.
+        return np.atleast_2d(apply_row_blocked(function.predict_block, points))
     return np.atleast_2d(np.stack([np.atleast_1d(function(point)) for point in points], axis=0))
 
 
@@ -155,11 +195,17 @@ def bernstein_coefficients_batch(
     partition at a time.
     """
 
-    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
-    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    lows, highs = _normalised_box_stack(lows, highs)
     count, dimension = lows.shape
     degrees = _normalised_degrees(degrees, dimension)
-    grids = bernstein_grid_batch(lows, highs, degrees)
+    # The grids are consumed within this call, so they live in reusable
+    # arena scratch; the *output* is the fresh array allocated by the
+    # blocked evaluator (CoefficientCache stores rows of it persistently,
+    # so it must never alias the arena).
+    grids = global_arena.take(
+        "bernstein.grids", (count, _grid_point_count(degrees), dimension)
+    )
+    _grid_batch_into(lows, highs, degrees, grids)
     flat = grids.reshape(-1, dimension)
     values = _evaluate_function_batch(function, flat)
     shape = (count,) + tuple(int(degree) + 1 for degree in degrees) + (values.shape[-1],)
@@ -177,13 +223,18 @@ def bernstein_enclosure_batch(
     """
 
     count = coefficients.shape[0]
-    flat = coefficients.reshape(count, -1, coefficients.shape[-1])
-    lower = flat.min(axis=1)
-    upper = flat.max(axis=1)
+    out_dim = coefficients.shape[-1]
+    flat = coefficients.reshape(count, -1, out_dim)
+    # Freshly allocated (returned to callers); reductions and error
+    # inflation run with ``out=`` so no intermediate stacks are built.
+    lower = np.empty((count, out_dim), dtype=coefficients.dtype)
+    upper = np.empty((count, out_dim), dtype=coefficients.dtype)
+    flat.min(axis=1, out=lower)
+    flat.max(axis=1, out=upper)
     if errors is not None:
         errors = np.asarray(errors, dtype=np.float64).reshape(count, 1)
-        lower = lower - errors
-        upper = upper + errors
+        np.subtract(lower, errors, out=lower)
+        np.add(upper, errors, out=upper)
     return lower, upper
 
 

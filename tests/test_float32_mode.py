@@ -1,0 +1,205 @@
+"""The opt-in float32 training mode and the float64 verification guard.
+
+Covers the whole dtype policy surface (``repro.utils.dtypes``):
+
+* the training-side paths -- ``rollout_batch``, ``RolloutBuffer``,
+  ``compute_gae_batch`` and the PPO/Mixing configs -- accept
+  ``dtype="float32"``, store/compute in float32 and stay within float32
+  tolerance of the float64 golden run on the same seed;
+* the float64 default is the exact historical behavior (byte-identical
+  arrays);
+* the verification paths refuse float32 loudly before doing any work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experts import NeuralController
+from repro.nn.network import MLP
+from repro.rl.buffers import RolloutBuffer
+from repro.rl.gae import compute_gae, compute_gae_batch
+from repro.systems import make_system
+from repro.systems.simulation import rollout_batch, sample_initial_states
+from repro.utils.dtypes import TRAINING_DTYPES, require_float64, resolve_training_dtype
+
+
+class TestDtypePolicy:
+    @pytest.mark.parametrize("value", ["float32", "float64", np.float32, np.float64,
+                                       np.dtype("float32")])
+    def test_resolve_accepts_training_dtypes(self, value):
+        assert resolve_training_dtype(value).name in TRAINING_DTYPES
+
+    @pytest.mark.parametrize("value", ["float16", "int64", "complex128", object, None])
+    def test_resolve_rejects_everything_else(self, value):
+        with pytest.raises(ValueError, match="training dtype"):
+            resolve_training_dtype(value)
+
+    def test_require_float64_passes_and_names_the_context(self):
+        assert require_float64("float64", "verify_controller") == np.float64
+        with pytest.raises(ValueError, match="verify_controller.*float64"):
+            require_float64("float32", "verify_controller")
+
+
+class TestRolloutFloat32:
+    def _run(self, dtype):
+        system = make_system("vanderpol")
+        controller = NeuralController(
+            MLP(system.state_dim, system.control_dim, hidden_sizes=(16, 16), seed=0)
+        )
+        initial_states = sample_initial_states(system, 16, rng=0)
+        return rollout_batch(
+            system, controller, initial_states, rng=np.random.default_rng(0), dtype=dtype
+        )
+
+    def test_float32_histories_and_tolerance_vs_float64_golden(self):
+        golden = self._run("float64")
+        reduced = self._run("float32")
+        assert reduced.states.dtype == np.float32
+        assert reduced.controls.dtype == np.float32
+        assert golden.states.dtype == np.float64
+        # Same seed, same trajectories up to float32 round-off accumulated
+        # over the horizon.
+        np.testing.assert_array_equal(reduced.safe, golden.safe)
+        np.testing.assert_array_equal(reduced.steps, golden.steps)
+        np.testing.assert_allclose(
+            reduced.states, golden.states.astype(np.float32), rtol=2e-4, atol=2e-4
+        )
+        np.testing.assert_allclose(
+            reduced.energy, golden.energy, rtol=2e-4, atol=2e-4
+        )
+
+    def test_float64_default_unchanged(self):
+        explicit = self._run("float64")
+        system = make_system("vanderpol")
+        controller = NeuralController(
+            MLP(system.state_dim, system.control_dim, hidden_sizes=(16, 16), seed=0)
+        )
+        initial_states = sample_initial_states(system, 16, rng=0)
+        default = rollout_batch(system, controller, initial_states, rng=np.random.default_rng(0))
+        assert default.states.tobytes() == explicit.states.tobytes()
+
+    def test_rollout_rejects_bad_dtype(self):
+        with pytest.raises(ValueError, match="training dtype"):
+            self._run("float16")
+
+
+class TestBufferAndGaeFloat32:
+    def _filled(self, dtype):
+        buffer = RolloutBuffer(num_envs=2, dtype=dtype)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            buffer.add_batch(
+                states=rng.normal(size=(2, 3)),
+                actions=rng.normal(size=(2, 1)),
+                rewards=rng.normal(size=2),
+                dones=np.array([False, False]),
+                values=rng.normal(size=2),
+                log_probs=rng.normal(size=2),
+            )
+        buffer.last_values = rng.normal(size=2)
+        return buffer
+
+    def test_buffer_stores_in_requested_precision(self):
+        buffer = self._filled("float32")
+        stacked = buffer.time_major()
+        for key in ("states", "actions", "rewards", "values", "log_probs"):
+            assert stacked[key].dtype == np.float32, key
+        assert stacked["dones"].dtype == bool
+        assert buffer.bootstrap_values().dtype == np.float32
+        buffer.set_advantages(np.ones(10), np.ones(10))
+        assert buffer.advantages.dtype == np.float32
+        assert buffer.returns.dtype == np.float32
+
+    def test_buffer_default_stays_float64(self):
+        stacked = self._filled("float64").time_major()
+        assert stacked["states"].dtype == np.float64
+        assert RolloutBuffer().dtype == "float64"
+
+    def test_buffer_rejects_bad_dtype(self):
+        with pytest.raises(ValueError, match="training dtype"):
+            RolloutBuffer(dtype="int32")
+
+    def test_gae_float32_matches_float64_within_tolerance(self):
+        rng = np.random.default_rng(0)
+        rewards = rng.normal(size=(20, 4))
+        values = rng.normal(size=(20, 4))
+        dones = rng.random(size=(20, 4)) < 0.1
+        last = rng.normal(size=4)
+        adv64, ret64 = compute_gae_batch(rewards, values, dones, 0.99, 0.95, last)
+        adv32, ret32 = compute_gae_batch(rewards, values, dones, 0.99, 0.95, last,
+                                         dtype="float32")
+        assert adv32.dtype == np.float32 and ret32.dtype == np.float32
+        assert adv64.dtype == np.float64
+        np.testing.assert_allclose(adv32, adv64, rtol=1e-4, atol=1e-4)
+        np.testing.assert_allclose(ret32, ret64, rtol=1e-4, atol=1e-4)
+        # float64 column bit-identity with the scalar reference is preserved.
+        scalar_adv, scalar_ret = compute_gae(
+            rewards[:, 0], values[:, 0], dones[:, 0], 0.99, 0.95, last[0]
+        )
+        np.testing.assert_array_equal(adv64[:, 0], scalar_adv)
+        np.testing.assert_array_equal(ret64[:, 0], scalar_ret)
+
+    def test_gae_rejects_bad_dtype(self):
+        with pytest.raises(ValueError, match="training dtype"):
+            compute_gae_batch(np.zeros((2, 1)), np.zeros((2, 1)),
+                              np.zeros((2, 1), dtype=bool), 0.99, 0.95, np.zeros(1),
+                              dtype="float16")
+
+
+class TestConfigPlumbing:
+    def test_ppo_config_validates_and_defaults(self):
+        from repro.rl.ppo import PPOConfig
+
+        assert PPOConfig().dtype == "float64"
+        assert PPOConfig(dtype="float32").dtype == "float32"
+        with pytest.raises(ValueError, match="training dtype"):
+            PPOConfig(dtype="float16")
+
+    def test_mixing_config_forwards_dtype(self):
+        from repro.core.config import MixingConfig
+
+        assert MixingConfig(dtype="float32").ppo_config().dtype == "float32"
+        assert MixingConfig().ppo_config().dtype == "float64"
+        with pytest.raises(ValueError, match="training dtype"):
+            MixingConfig(dtype="bfloat16")
+
+    def test_trainer_threads_dtype_into_buffer(self):
+        from repro.core.mixing import MixingTrainer
+        from repro.core.config import MixingConfig
+        from repro.experts import make_default_experts
+        from repro.rl.ppo import PPOTrainer
+
+        system = make_system("vanderpol")
+        trainer = MixingTrainer(
+            system,
+            make_default_experts(system),
+            config=MixingConfig(epochs=1, steps_per_epoch=8, dtype="float32", seed=0),
+            rng=0,
+        )
+        ppo = PPOTrainer(trainer.env, config=trainer.config.ppo_config(), rng=0)
+        buffer = ppo.collect_rollouts(8)
+        assert buffer.dtype == "float32"
+        assert buffer.time_major()["states"].dtype == np.float32
+
+
+class TestVerificationGuard:
+    def test_verify_controller_rejects_float32_before_any_work(self):
+        from repro.verification.verifier import verify_controller
+
+        system = make_system("vanderpol")
+        network = MLP(system.state_dim, system.control_dim, hidden_sizes=(4,), seed=0)
+        with pytest.raises(ValueError, match="verification path.*float64"):
+            verify_controller(system, network, dtype="float32")
+
+    def test_sweep_job_with_float32_fails_loudly(self):
+        from repro.verification.sweep import SweepJob, run_sweep_job
+
+        system = make_system("vanderpol")
+        network = MLP(system.state_dim, system.control_dim, hidden_sizes=(4,), seed=0)
+        job = SweepJob.from_network("bad@vanderpol", "vanderpol", network,
+                                    max_partitions=8, dtype="float32")
+        result = run_sweep_job(job)
+        assert result.status == "error"
+        assert "float64" in result.error

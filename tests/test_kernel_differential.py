@@ -1,0 +1,312 @@
+"""Differential test pack pinning the optimized kernels to frozen references.
+
+The batched hot-path kernels (Bernstein grid/coefficient/enclosure, the
+blocked-row evaluator and the IBP forward pass) were rewritten for speed in
+the kernel-audit PR: preallocated output buffers, ``out=`` fused ops and
+hoisted normalisation.  Speed work on verification kernels is only safe if
+the float64 results are **bit-identical** -- the repo's soundness story
+rests on the scalar path being the batch-of-one special case, and any
+rounding drift would silently invalidate the committed golden runs.
+
+This module freezes the pre-audit implementations verbatim as private
+``_reference_*`` copies and asserts the live kernels reproduce them bit for
+bit, across every registered scenario plus Hypothesis-generated boxes,
+degrees and network weights.  If an optimization ever changes a single
+mantissa bit, these tests name the kernel that drifted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.network import MLP
+from repro.scenarios import get_scenario, list_scenarios
+from repro.verification.bernstein import (
+    bernstein_coefficients_batch,
+    bernstein_enclosure_batch,
+    bernstein_grid_batch,
+)
+from repro.verification.intervals import (
+    EVAL_BLOCK_ROWS,
+    apply_row_blocked,
+    network_output_bounds_batch,
+)
+
+# ----------------------------------------------------------------------
+# Frozen reference implementations (verbatim pre-audit copies -- do not
+# modify; they are the contract the optimized kernels must reproduce).
+# ----------------------------------------------------------------------
+
+
+def _reference_normalised_degrees(degrees, dimension):
+    degrees = np.atleast_1d(np.asarray(degrees, dtype=int))
+    if degrees.size == 1:
+        degrees = np.full(dimension, int(degrees[0]))
+    if degrees.size != dimension:
+        raise ValueError("one degree per input dimension is required")
+    if np.any(degrees < 1):
+        raise ValueError("degrees must be at least 1")
+    return degrees
+
+
+def _reference_apply_row_blocked(function, rows):
+    count = rows.shape[0]
+    outputs = []
+    for start in range(0, count, EVAL_BLOCK_ROWS):
+        chunk = rows[start : start + EVAL_BLOCK_ROWS]
+        valid = chunk.shape[0]
+        if valid < EVAL_BLOCK_ROWS:
+            pad = np.broadcast_to(chunk[-1:], (EVAL_BLOCK_ROWS - valid,) + chunk.shape[1:])
+            chunk = np.concatenate([chunk, pad], axis=0)
+        outputs.append(function(chunk)[:valid])
+    return np.concatenate(outputs, axis=0)
+
+
+def _reference_bernstein_grid_batch(lows, highs, degrees):
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    dimension = lows.shape[1]
+    degrees = _reference_normalised_degrees(degrees, dimension)
+    axes = [
+        np.linspace(lows[:, axis], highs[:, axis], int(degree) + 1, axis=-1)
+        for axis, degree in enumerate(degrees)
+    ]  # per axis: (P, degree + 1)
+    index_grid = np.stack(
+        np.meshgrid(*[np.arange(int(degree) + 1) for degree in degrees], indexing="ij"), axis=-1
+    ).reshape(-1, dimension)  # (G, dim)
+    return np.stack(
+        [axes[axis][:, index_grid[:, axis]] for axis in range(dimension)], axis=-1
+    )  # (P, G, dim)
+
+
+def _reference_evaluate_function_batch(function, points):
+    if isinstance(function, MLP):
+        return np.atleast_2d(_reference_apply_row_blocked(function.predict, points))
+    return np.atleast_2d(np.stack([np.atleast_1d(function(point)) for point in points], axis=0))
+
+
+def _reference_bernstein_coefficients_batch(function, lows, highs, degrees):
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    count, dimension = lows.shape
+    degrees = _reference_normalised_degrees(degrees, dimension)
+    grids = _reference_bernstein_grid_batch(lows, highs, degrees)
+    flat = grids.reshape(-1, dimension)
+    values = _reference_evaluate_function_batch(function, flat)
+    shape = (count,) + tuple(int(degree) + 1 for degree in degrees) + (values.shape[-1],)
+    return values.reshape(shape)
+
+
+def _reference_bernstein_enclosure_batch(coefficients, errors=None):
+    count = coefficients.shape[0]
+    flat = coefficients.reshape(count, -1, coefficients.shape[-1])
+    lower = flat.min(axis=1)
+    upper = flat.max(axis=1)
+    if errors is not None:
+        errors = np.asarray(errors, dtype=np.float64).reshape(count, 1)
+        lower = lower - errors
+        upper = upper + errors
+    return lower, upper
+
+
+def _reference_network_output_bounds_batch(network, lows, highs):
+    from repro.nn.layers import Activation, Linear
+
+    def propagate(bounds):
+        lower = bounds[..., 0]
+        upper = bounds[..., 1]
+        for layer in network.layers:
+            if isinstance(layer, Linear):
+                weight = layer.weight.data
+                center = (lower + upper) / 2.0
+                radius = (upper - lower) / 2.0
+                new_center = center @ weight + layer.bias.data
+                new_radius = radius @ np.abs(weight)
+                lower = new_center - new_radius
+                upper = new_center + new_radius
+            elif isinstance(layer, Activation):
+                name = layer.name
+                if name == "relu":
+                    lower = np.maximum(lower, 0.0)
+                    upper = np.maximum(upper, 0.0)
+                elif name == "tanh":
+                    lower = np.tanh(lower)
+                    upper = np.tanh(upper)
+                elif name == "sigmoid":
+                    lower = 1.0 / (1.0 + np.exp(-lower))
+                    upper = 1.0 / (1.0 + np.exp(-upper))
+                # identity: unchanged
+        return np.stack([lower, upper], axis=-1)
+
+    stacked = np.stack(
+        [
+            np.atleast_2d(np.asarray(lows, dtype=np.float64)),
+            np.atleast_2d(np.asarray(highs, dtype=np.float64)),
+        ],
+        axis=-1,
+    )  # (M, dim, 2): lower/upper travel together so blocks stay paired
+    result = _reference_apply_row_blocked(propagate, stacked)
+    return result[..., 0], result[..., 1]
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def assert_bit_identical(actual, expected, label):
+    actual = np.asarray(actual)
+    expected = np.asarray(expected)
+    assert actual.dtype == expected.dtype, f"{label}: dtype drifted"
+    assert actual.shape == expected.shape, f"{label}: shape drifted"
+    assert actual.tobytes() == expected.tobytes(), f"{label}: results are not bit-identical"
+
+
+def _box_stack(rng, count, dimension, scale=2.0):
+    lows = rng.uniform(-scale, scale, size=(count, dimension))
+    widths = rng.uniform(1e-3, scale, size=(count, dimension))
+    return lows, lows + widths
+
+
+def _network(rng, dimension, out_dim=1, activation="tanh"):
+    seed = int(rng.integers(0, 2**31 - 1))
+    return MLP(dimension, out_dim, hidden_sizes=(16, 16), activation=activation, seed=seed)
+
+
+ACTIVATIONS = ("relu", "tanh", "sigmoid")
+
+
+# ----------------------------------------------------------------------
+# Registry-scenario coverage: every registered scenario's dimensionality
+# runs through every audited kernel against its frozen reference.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", list_scenarios())
+def test_kernels_bit_identical_on_scenario(name):
+    spec = get_scenario(name)
+    system = spec.make_system()
+    dimension = system.state_dim
+    rng = np.random.default_rng(hash(name) % (2**32))
+    network = MLP(dimension, system.control_dim, hidden_sizes=(24, 24), seed=7)
+    init = system.initial_set
+    base_lows = np.asarray(init.low, dtype=np.float64)
+    base_highs = np.asarray(init.high, dtype=np.float64)
+    offsets = rng.uniform(-0.5, 0.5, size=(9, dimension))
+    lows = base_lows + offsets
+    highs = base_highs + offsets + rng.uniform(0.0, 0.3, size=(9, dimension))
+    degrees = [2] * dimension if dimension <= 3 else [1] * dimension
+
+    grids = bernstein_grid_batch(lows, highs, degrees)
+    assert_bit_identical(grids, _reference_bernstein_grid_batch(lows, highs, degrees), "grid")
+
+    coeffs = bernstein_coefficients_batch(network, lows, highs, degrees)
+    ref_coeffs = _reference_bernstein_coefficients_batch(network, lows, highs, degrees)
+    assert_bit_identical(coeffs, ref_coeffs, "coefficients")
+
+    errors = rng.uniform(0.0, 0.1, size=lows.shape[0])
+    for err in (None, errors):
+        lo, hi = bernstein_enclosure_batch(coeffs, err)
+        ref_lo, ref_hi = _reference_bernstein_enclosure_batch(ref_coeffs, err)
+        assert_bit_identical(lo, ref_lo, "enclosure lower")
+        assert_bit_identical(hi, ref_hi, "enclosure upper")
+
+    lo, hi = network_output_bounds_batch(network, lows, highs)
+    ref_lo, ref_hi = _reference_network_output_bounds_batch(network, lows, highs)
+    assert_bit_identical(lo, ref_lo, "ibp lower")
+    assert_bit_identical(hi, ref_hi, "ibp upper")
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random boxes x degrees x weights, including batch sizes that
+# straddle the 64-row block boundary.
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    count=st.integers(1, 9),
+    dimension=st.integers(1, 3),
+    degree=st.integers(1, 4),
+)
+def test_bernstein_kernels_bit_identical_random(seed, count, dimension, degree):
+    rng = np.random.default_rng(seed)
+    lows, highs = _box_stack(rng, count, dimension)
+    degrees = [degree] * dimension
+    network = _network(rng, dimension)
+
+    grids = bernstein_grid_batch(lows, highs, degrees)
+    assert_bit_identical(grids, _reference_bernstein_grid_batch(lows, highs, degrees), "grid")
+
+    coeffs = bernstein_coefficients_batch(network, lows, highs, degrees)
+    ref = _reference_bernstein_coefficients_batch(network, lows, highs, degrees)
+    assert_bit_identical(coeffs, ref, "coefficients")
+
+    errors = rng.uniform(0.0, 1.0, size=count)
+    lo, hi = bernstein_enclosure_batch(coeffs, errors)
+    ref_lo, ref_hi = _reference_bernstein_enclosure_batch(ref, errors)
+    assert_bit_identical(lo, ref_lo, "enclosure lower")
+    assert_bit_identical(hi, ref_hi, "enclosure upper")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    count=st.integers(1, 200),
+    dimension=st.integers(1, 4),
+    activation=st.sampled_from(ACTIVATIONS),
+)
+def test_ibp_bit_identical_random(seed, count, dimension, activation):
+    rng = np.random.default_rng(seed)
+    lows, highs = _box_stack(rng, count, dimension)
+    network = _network(rng, dimension, out_dim=2, activation=activation)
+    lo, hi = network_output_bounds_batch(network, lows, highs)
+    ref_lo, ref_hi = _reference_network_output_bounds_batch(network, lows, highs)
+    assert_bit_identical(lo, ref_lo, "ibp lower")
+    assert_bit_identical(hi, ref_hi, "ibp upper")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    count=st.integers(1, 3 * EVAL_BLOCK_ROWS + 5),
+    width=st.integers(1, 5),
+)
+def test_apply_row_blocked_bit_identical_random(seed, count, width):
+    rng = np.random.default_rng(seed)
+    rows = rng.normal(size=(count, width))
+    network = _network(rng, width, out_dim=3)
+    out = apply_row_blocked(network.predict, rows)
+    ref = _reference_apply_row_blocked(network.predict, rows)
+    assert_bit_identical(out, ref, "apply_row_blocked")
+
+
+def test_apply_row_blocked_repeated_calls_identical():
+    """Back-to-back calls must agree bitwise -- reused scratch cannot leak."""
+
+    rng = np.random.default_rng(0)
+    network = _network(rng, 3, out_dim=2)
+    big = rng.normal(size=(EVAL_BLOCK_ROWS * 2 + 17, 3))
+    small = rng.normal(size=(5, 3))
+    first_big = apply_row_blocked(network.predict, big)
+    first_small = apply_row_blocked(network.predict, small)
+    assert_bit_identical(apply_row_blocked(network.predict, big), first_big, "repeat big")
+    assert_bit_identical(apply_row_blocked(network.predict, small), first_small, "repeat small")
+
+
+def test_coefficients_output_is_freshly_allocated():
+    """Coefficient tensors are cached persistently (CoefficientCache), so the
+    kernel's output must never alias reusable scratch memory."""
+
+    rng = np.random.default_rng(1)
+    network = _network(rng, 2)
+    lows, highs = _box_stack(rng, 4, 2)
+    first = bernstein_coefficients_batch(network, lows, highs, [2, 2])
+    snapshot = first.copy()
+    other_lows, other_highs = _box_stack(rng, 8, 2)
+    bernstein_coefficients_batch(network, other_lows, other_highs, [3, 3])
+    assert_bit_identical(first, snapshot, "coefficients mutated by a later call")

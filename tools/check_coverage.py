@@ -87,7 +87,8 @@ def report(target: Path, executed) -> float:
 
     total_executable = total_hit = 0
     print(f"{'file':44s} {'lines':>6s} {'hit':>6s} {'cover':>7s}")
-    for path in sorted(target.rglob("*.py")):
+    files = [target] if target.is_file() else sorted(target.rglob("*.py"))
+    for path in files:
         lines = executable_lines(path)
         hits = executed.get(str(path.resolve()), set()) & lines
         total_executable += len(lines)
@@ -103,7 +104,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--floor", type=float, default=80.0, help="minimum line coverage percent")
     parser.add_argument("--target", type=Path, default=DEFAULT_TARGET,
-                        help="package directory the floor applies to")
+                        help="package directory or single .py module the floor applies to")
     parser.add_argument("tests", nargs="*", default=list(DEFAULT_TESTS),
                         help="test files/dirs driven under the collector")
     args = parser.parse_args(argv)
@@ -116,7 +117,8 @@ def main(argv=None) -> int:
         sys.path.insert(0, src)
 
     if importlib.util.find_spec("pytest_cov") is not None:
-        relative = args.target.resolve().relative_to(REPO / "src")
+        # A single-module target (src/repro/utils/buffers.py) covs the module.
+        relative = args.target.resolve().relative_to(REPO / "src").with_suffix("")
         command = [
             sys.executable, "-m", "pytest", "-q",
             f"--cov={'.'.join(relative.parts)}",
